@@ -1,0 +1,187 @@
+(* Benchmark + reproduction harness.
+
+   Phase 1 prints every table and figure of the paper (the reproduction
+   output: same rows/series the paper reports, ours interleaved with the
+   published values where the paper prints numbers).
+
+   Phase 2 times each experiment driver and the hot numerical kernels with
+   Bechamel (one Test.make per table/figure, plus kernel benches), printing
+   the OLS time-per-run estimates. *)
+
+open Bechamel
+open Toolkit
+
+let print_reproduction ctx =
+  print_endline "==============================================================";
+  print_endline " Reproduction: all tables and figures";
+  print_endline "==============================================================";
+  List.iter
+    (fun (o : Subscale.Experiments.output) ->
+      Subscale.Report.Table.print o.Subscale.Experiments.table;
+      print_newline ();
+      List.iter print_string o.Subscale.Experiments.plots)
+    (Subscale.Experiments.all ~measured_delay:true ctx);
+  print_endline "==============================================================";
+  print_endline " Extensions";
+  print_endline "==============================================================";
+  List.iter
+    (fun (o : Subscale.Experiments.output) ->
+      Subscale.Report.Table.print o.Subscale.Experiments.table;
+      print_newline ())
+    (Subscale.Experiments.all_extensions ctx)
+
+(* --- Bechamel tests ------------------------------------------------- *)
+
+let experiment_tests ctx =
+  let stage name f = Test.make ~name (Staged.stage f) in
+  [
+    stage "table1" (fun () -> Subscale.Experiments.table1 ());
+    stage "table2" (fun () -> Subscale.Experiments.table2 ctx);
+    stage "table3" (fun () -> Subscale.Experiments.table3 ctx);
+    stage "fig2" (fun () -> Subscale.Experiments.fig2 ctx);
+    stage "fig3" (fun () -> Subscale.Experiments.fig3 ctx);
+    stage "fig4" (fun () -> Subscale.Experiments.fig4 ctx);
+    stage "fig5" (fun () -> Subscale.Experiments.fig5 ~measured:false ctx);
+    stage "fig6" (fun () -> Subscale.Experiments.fig6 ctx);
+    stage "fig7" (fun () -> Subscale.Experiments.fig7 ());
+    stage "fig8" (fun () -> Subscale.Experiments.fig8 ());
+    stage "fig9" (fun () -> Subscale.Experiments.fig9 ctx);
+    stage "fig10" (fun () -> Subscale.Experiments.fig10 ctx);
+    stage "fig11" (fun () -> Subscale.Experiments.fig11 ctx);
+    stage "fig12" (fun () -> Subscale.Experiments.fig12 ctx);
+    stage "ext-variability" (fun () -> Subscale.Experiments.ext_variability ctx);
+    stage "ext-multivth" (fun () -> Subscale.Experiments.ext_multi_vth ());
+    stage "ext-bitline" (fun () -> Subscale.Experiments.ext_bitline ctx);
+    stage "ext-temperature" (fun () -> Subscale.Experiments.ext_temperature ());
+    stage "ext-corners" (fun () -> Subscale.Experiments.ext_corners ctx);
+    stage "ext-pareto" (fun () -> Subscale.Experiments.ext_pareto ctx);
+  ]
+
+let kernel_tests () =
+  let phys = List.hd Subscale.Device.Params.paper_table2 in
+  let pair = Subscale.Circuits.Inverter.pair_of_physical phys in
+  let nfet = pair.Subscale.Circuits.Inverter.nfet in
+  let sizing = Subscale.Circuits.Inverter.balanced_sizing () in
+  let tcad_dev =
+    Subscale.Tcad.Structure.build (Subscale.Device.Compact.to_tcad_description nfet)
+  in
+  [
+    Test.make ~name:"kernel/compact-id"
+      (Staged.stage (fun () -> Subscale.Device.Iv_model.id nfet ~vgs:0.25 ~vds:0.25));
+    Test.make ~name:"kernel/vtc-spice-51pt"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Vtc.spice ~points:51 pair ~sizing ~vdd:0.25));
+    Test.make ~name:"kernel/snm-spice"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Snm.inverter ~engine:`Spice pair ~sizing ~vdd:0.25));
+    Test.make ~name:"kernel/transient-4stage"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Delay.measured ~steps:300 pair ~vdd:0.3));
+    Test.make ~name:"kernel/vmin-search"
+      (Staged.stage (fun () -> Subscale.Analysis.Energy.vmin ~sizing pair));
+    Test.make ~name:"kernel/super-vth-node"
+      (Staged.stage (fun () ->
+           Subscale.Scaling.Super_vth.select_node (Subscale.Scaling.Roadmap.find 45)));
+    Test.make ~name:"kernel/tcad-equilibrium"
+      (Staged.stage (fun () -> Subscale.Tcad.Gummel.equilibrium tcad_dev));
+    Test.make ~name:"kernel/adder-4bit-dc"
+      (Staged.stage
+         (let adder = Subscale.Circuits.Adder.ripple_carry pair ~vdd:0.3 ~bits:4 in
+          fun () -> Subscale.Circuits.Adder.compute adder ~a:9 ~b:6 ~cin:1));
+    Test.make ~name:"kernel/variability-mc100"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Variability.chain_delay_distribution ~trials:100 pair
+             ~vdd:0.25));
+    Test.make ~name:"kernel/cell-characterize-inv"
+      (Staged.stage (fun () ->
+           Subscale.Sta.Cell_lib.characterize_cell pair ~vdd:0.3 Subscale.Sta.Cell_lib.Inv));
+    Test.make ~name:"kernel/sta-adder8"
+      (Staged.stage
+         (let lib = Subscale.Sta.Cell_lib.characterize pair ~vdd:0.3 in
+          let d = Subscale.Sta.Design.create () in
+          let a = Array.init 8 (fun _ -> Subscale.Sta.Design.fresh_net d) in
+          let b = Array.init 8 (fun _ -> Subscale.Sta.Design.fresh_net d) in
+          let cin = Subscale.Sta.Design.fresh_net d in
+          Array.iter (Subscale.Sta.Design.mark_input d) a;
+          Array.iter (Subscale.Sta.Design.mark_input d) b;
+          Subscale.Sta.Design.mark_input d cin;
+          let sums, cout = Subscale.Sta.Design.ripple_carry_adder d ~a ~b ~cin in
+          Array.iter (Subscale.Sta.Design.mark_output d) sums;
+          Subscale.Sta.Design.mark_output d cout;
+          fun () -> Subscale.Sta.Engine.analyze lib d));
+    Test.make ~name:"kernel/repeater-plan"
+      (Staged.stage (fun () ->
+           Subscale.Interconnect.Repeater.plan_route pair ~sizing ~vdd:1.2
+             ~geometry:(Subscale.Interconnect.Wire.geometry_for_node 90) ~length:5e-3));
+    Test.make ~name:"kernel/liberty-export"
+      (Staged.stage
+         (let lib = Subscale.Sta.Cell_lib.characterize pair ~vdd:0.3 in
+          fun () -> Subscale.Sta.Liberty.to_string lib));
+    Test.make ~name:"kernel/power-adder8"
+      (Staged.stage
+         (let lib = Subscale.Sta.Cell_lib.characterize pair ~vdd:0.3 in
+          let d = Subscale.Sta.Design.create () in
+          let a = Array.init 8 (fun _ -> Subscale.Sta.Design.fresh_net d) in
+          let b = Array.init 8 (fun _ -> Subscale.Sta.Design.fresh_net d) in
+          let cin = Subscale.Sta.Design.fresh_net d in
+          Array.iter (Subscale.Sta.Design.mark_input d) a;
+          Array.iter (Subscale.Sta.Design.mark_input d) b;
+          Subscale.Sta.Design.mark_input d cin;
+          let sums, cout = Subscale.Sta.Design.ripple_carry_adder d ~a ~b ~cin in
+          Array.iter (Subscale.Sta.Design.mark_output d) sums;
+          Subscale.Sta.Design.mark_output d cout;
+          fun () -> Subscale.Sta.Power.analyze lib d ~frequency:1e5));
+  ]
+
+(* Ablation benches: the design-choice comparisons DESIGN.md calls out. *)
+let ablation_tests () =
+  let phys = List.hd Subscale.Device.Params.paper_table2 in
+  let pair = Subscale.Circuits.Inverter.pair_of_physical phys in
+  let sizing = Subscale.Circuits.Inverter.balanced_sizing () in
+  [
+    Test.make ~name:"ablation/snm-analytic"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Snm.inverter ~engine:`Analytic pair ~sizing ~vdd:0.25));
+    Test.make ~name:"ablation/snm-spice"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Snm.inverter ~engine:`Spice pair ~sizing ~vdd:0.25));
+    Test.make ~name:"ablation/energy-analytic"
+      (Staged.stage (fun () -> Subscale.Analysis.Energy.analytic pair ~vdd:0.25));
+    Test.make ~name:"ablation/energy-transient"
+      (Staged.stage (fun () ->
+           Subscale.Analysis.Energy.measured ~stages:10 ~steps:400 pair ~vdd:0.25));
+  ]
+
+let run_benchmarks tests =
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  print_endline "==============================================================";
+  print_endline " Bechamel timings (monotonic clock, OLS time per run)";
+  print_endline "==============================================================";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (t :: _) -> t
+            | Some [] | None -> Float.nan
+          in
+          let name = Test.Elt.name elt in
+          if ns < 1e3 then Printf.printf "%-28s %10.1f ns/run\n%!" name ns
+          else if ns < 1e6 then Printf.printf "%-28s %10.2f us/run\n%!" name (ns /. 1e3)
+          else if ns < 1e9 then Printf.printf "%-28s %10.2f ms/run\n%!" name (ns /. 1e6)
+          else Printf.printf "%-28s %10.2f s/run\n%!" name (ns /. 1e9))
+        (Test.elements test))
+    tests
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let ctx = Subscale.Experiments.make_context ~with_130:true () in
+  print_reproduction ctx;
+  run_benchmarks (experiment_tests ctx @ kernel_tests () @ ablation_tests ());
+  Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,314 @@
+(* subscale: command-line front end.
+
+   subcommands:
+     run <ids>      reproduce tables/figures (table1..fig12 or "all")
+     device         print compact-model characteristics for one node
+     tcad           run the 2-D TCAD characterization for one node (slower)
+     sweep          dump a compact-model Id-Vg sweep as CSV *)
+
+open Cmdliner
+
+let setup_logs level =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let log_term =
+  Term.(const setup_logs $ Logs_cli.level ())
+
+let experiment_ids =
+  [ "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
+    "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
+
+let extension_ids =
+  [ "ext-variability"; "ext-multivth"; "ext-bitline"; "ext-temperature"; "ext-datapath";
+    "ext-interconnect"; "ext-sta"; "ext-yield"; "ext-projection"; "ext-corners";
+    "ext-pareto" ]
+
+let print_output ~plots ~csv_dir (o : Subscale.Experiments.output) =
+  Subscale.Report.Table.print o.Subscale.Experiments.table;
+  print_newline ();
+  if plots then
+    List.iter
+      (fun p ->
+        print_string p;
+        print_newline ())
+      o.Subscale.Experiments.plots;
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (o.Subscale.Experiments.id ^ ".csv") in
+    let data = Subscale.Report.Csv.of_table o.Subscale.Experiments.table in
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
+let run_cmd =
+  let ids =
+    let doc =
+      "Experiments to run: table1..table3, fig2..fig12, ext-variability, \
+       ext-multivth, ext-bitline, ext-temperature, ext-datapath, 'all' \
+       (paper set) or 'everything' (paper set plus extensions)."
+    in
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ID" ~doc)
+  in
+  let no_measured =
+    let doc = "Skip transient delay measurements in fig5 (faster)." in
+    Arg.(value & flag & info [ "no-measured" ] ~doc)
+  in
+  let plots =
+    let doc = "Also render ASCII plots where available." in
+    Arg.(value & flag & info [ "plots" ] ~doc)
+  in
+  let csv_dir =
+    let doc = "Directory to write per-experiment CSV files into." in
+    Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let run () ids no_measured plots csv_dir =
+    let ids =
+      List.concat_map
+        (fun id ->
+          if id = "all" then experiment_ids
+          else if id = "everything" then experiment_ids @ extension_ids
+          else [ id ])
+        ids
+    in
+    List.iter
+      (fun id ->
+        if not (List.mem id (experiment_ids @ extension_ids)) then begin
+          Printf.eprintf "unknown experiment %S (known: %s, all, everything)\n" id
+            (String.concat ", " (experiment_ids @ extension_ids));
+          exit 2
+        end)
+      ids;
+    let ctx_free =
+      [ "table1"; "fig7"; "fig8"; "ext-multivth"; "ext-temperature"; "ext-projection" ]
+    in
+    let needs_ctx = List.exists (fun id -> not (List.mem id ctx_free)) ids in
+    let with_130 = List.mem "fig12" ids in
+    let ctx =
+      if needs_ctx then Some (Subscale.Experiments.make_context ~with_130 ()) else None
+    in
+    let get_ctx () = Option.get ctx in
+    List.iter
+      (fun id ->
+        let output =
+          match id with
+          | "table1" -> Subscale.Experiments.table1 ()
+          | "table2" -> Subscale.Experiments.table2 (get_ctx ())
+          | "table3" -> Subscale.Experiments.table3 (get_ctx ())
+          | "fig2" -> Subscale.Experiments.fig2 (get_ctx ())
+          | "fig3" -> Subscale.Experiments.fig3 (get_ctx ())
+          | "fig4" -> Subscale.Experiments.fig4 (get_ctx ())
+          | "fig5" -> Subscale.Experiments.fig5 ~measured:(not no_measured) (get_ctx ())
+          | "fig6" -> Subscale.Experiments.fig6 (get_ctx ())
+          | "fig7" -> Subscale.Experiments.fig7 ()
+          | "fig8" -> Subscale.Experiments.fig8 ()
+          | "fig9" -> Subscale.Experiments.fig9 (get_ctx ())
+          | "fig10" -> Subscale.Experiments.fig10 (get_ctx ())
+          | "fig11" -> Subscale.Experiments.fig11 (get_ctx ())
+          | "fig12" -> Subscale.Experiments.fig12 (get_ctx ())
+          | "ext-variability" -> Subscale.Experiments.ext_variability (get_ctx ())
+          | "ext-multivth" -> Subscale.Experiments.ext_multi_vth ()
+          | "ext-bitline" -> Subscale.Experiments.ext_bitline (get_ctx ())
+          | "ext-temperature" -> Subscale.Experiments.ext_temperature ()
+          | "ext-datapath" -> Subscale.Experiments.ext_datapath (get_ctx ())
+          | "ext-interconnect" -> Subscale.Experiments.ext_interconnect (get_ctx ())
+          | "ext-sta" -> Subscale.Experiments.ext_sta (get_ctx ())
+          | "ext-yield" -> Subscale.Experiments.ext_yield (get_ctx ())
+          | "ext-projection" -> Subscale.Experiments.ext_projection ()
+          | "ext-corners" -> Subscale.Experiments.ext_corners (get_ctx ())
+          | "ext-pareto" -> Subscale.Experiments.ext_pareto (get_ctx ())
+          | _ -> assert false
+        in
+        print_output ~plots ~csv_dir output)
+      ids
+  in
+  let doc = "Reproduce the paper's tables and figures" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ log_term $ ids $ no_measured $ plots $ csv_dir)
+
+let node_arg =
+  let doc = "Technology node (90, 65, 45 or 32; 130 for the Fig. 12 extra point)." in
+  Arg.(value & opt int 90 & info [ "node" ] ~docv:"NM" ~doc)
+
+let strategy_arg =
+  let doc = "Scaling strategy: 'super' or 'sub'." in
+  Arg.(value & opt string "super" & info [ "strategy" ] ~docv:"S" ~doc)
+
+let select_device node strategy =
+  let n =
+    match Subscale.Scaling.Roadmap.find node with
+    | n -> n
+    | exception Not_found ->
+      Printf.eprintf "unknown node %d (known: 130, 90, 65, 45, 32)\n" node;
+      exit 2
+  in
+  match strategy with
+  | "super" ->
+    let s = Subscale.Scaling.Super_vth.select_node n in
+    (n, s.Subscale.Scaling.Super_vth.phys, s.Subscale.Scaling.Super_vth.pair)
+  | "sub" ->
+    let s = Subscale.Scaling.Sub_vth.select_node n in
+    (n, s.Subscale.Scaling.Sub_vth.phys, s.Subscale.Scaling.Sub_vth.pair)
+  | other ->
+    Printf.eprintf "unknown strategy %S (super or sub)\n" other;
+    exit 2
+
+let device_cmd =
+  let run () node strategy =
+    let roadmap_node, phys, pair = select_device node strategy in
+    let e =
+      Subscale.Scaling.Strategy.evaluate
+        (if strategy = "super" then Subscale.Scaling.Strategy.Super_vth
+         else Subscale.Scaling.Strategy.Sub_vth)
+        roadmap_node phys pair
+    in
+    let nfet = pair.Subscale.Circuits.Inverter.nfet in
+    let f = Printf.printf in
+    f "node           : %d nm (%s strategy)\n" node strategy;
+    f "Lpoly          : %.1f nm\n" (Subscale.Physics.Constants.to_nm phys.Subscale.Device.Params.lpoly);
+    f "Tox            : %.2f nm\n" (Subscale.Physics.Constants.to_nm phys.Subscale.Device.Params.tox);
+    f "Nsub           : %.2e cm^-3\n" (Subscale.Physics.Constants.to_per_cm3 phys.Subscale.Device.Params.nsub);
+    f "Nhalo (net)    : %.2e cm^-3\n"
+      (Subscale.Physics.Constants.to_per_cm3 (Subscale.Device.Params.nhalo_net phys));
+    f "Leff           : %.1f nm\n" (Subscale.Physics.Constants.to_nm nfet.Subscale.Device.Compact.leff);
+    f "SS             : %.1f mV/dec\n" (1000.0 *. nfet.Subscale.Device.Compact.ss);
+    f "Vth,sat (cc)   : %.0f mV\n" (1000.0 *. e.Subscale.Scaling.Strategy.vth_sat);
+    f "DIBL           : %.0f mV/V\n" (1000.0 *. Subscale.Device.Compact.dibl nfet);
+    f "Ioff @nominal  : %.1f pA/um\n"
+      (Subscale.Physics.Constants.to_pa_per_um e.Subscale.Scaling.Strategy.ioff_nominal);
+    f "Ion/Ioff @250mV: %.0f\n" e.Subscale.Scaling.Strategy.on_off_sub;
+    f "SNM @250mV     : %.1f mV\n" (1000.0 *. e.Subscale.Scaling.Strategy.snm_sub);
+    f "FO1 tp @250mV  : %.1f ns\n" (1e9 *. e.Subscale.Scaling.Strategy.delay_sub);
+    f "Vmin           : %.0f mV\n" (1000.0 *. e.Subscale.Scaling.Strategy.vmin);
+    f "E/cycle @Vmin  : %.2f fJ (30-stage chain, alpha = 0.1)\n"
+      (1e15 *. e.Subscale.Scaling.Strategy.energy_at_vmin)
+  in
+  let doc = "Print compact-model characteristics of one scaled device" in
+  Cmd.v (Cmd.info "device" ~doc) Term.(const run $ log_term $ node_arg $ strategy_arg)
+
+let tcad_cmd =
+  let run () node strategy =
+    let _, _, pair = select_device node strategy in
+    let nfet = pair.Subscale.Circuits.Inverter.nfet in
+    let desc = Subscale.Device.Compact.to_tcad_description nfet in
+    Printf.printf "building 2-D device and running Id-Vg sweeps (this takes a few seconds)...\n%!";
+    let dev = Subscale.Tcad.Structure.build desc in
+    let ch = Subscale.Tcad.Extract.characterize ~vdd:0.9 dev in
+    Printf.printf "mesh            : %d x %d nodes\n" dev.Subscale.Tcad.Structure.mesh.Subscale.Tcad.Mesh.nx
+      dev.Subscale.Tcad.Structure.mesh.Subscale.Tcad.Mesh.ny;
+    Printf.printf "Leff (2-D)      : %.1f nm\n" (Subscale.Physics.Constants.to_nm ch.Subscale.Tcad.Extract.leff);
+    Printf.printf "SS (2-D)        : %.1f mV/dec (compact model: %.1f)\n"
+      (1000.0 *. ch.Subscale.Tcad.Extract.ss) (1000.0 *. nfet.Subscale.Device.Compact.ss);
+    Printf.printf "Vth,lin (2-D)   : %.0f mV\n" (1000.0 *. ch.Subscale.Tcad.Extract.vth_lin);
+    Printf.printf "Vth,sat (2-D)   : %.0f mV\n" (1000.0 *. ch.Subscale.Tcad.Extract.vth_sat);
+    Printf.printf "DIBL (2-D)      : %.0f mV/V\n" (1000.0 *. ch.Subscale.Tcad.Extract.dibl);
+    Printf.printf "Ioff (2-D)      : %.2e A/m\n" ch.Subscale.Tcad.Extract.ioff;
+    Printf.printf "Ion/Ioff @250mV : %.0f\n" ch.Subscale.Tcad.Extract.on_off_ratio_sub
+  in
+  let doc = "Characterize one scaled device with the 2-D TCAD simulator" in
+  Cmd.v (Cmd.info "tcad" ~doc) Term.(const run $ log_term $ node_arg $ strategy_arg)
+
+let sweep_cmd =
+  let vd_arg =
+    let doc = "Drain bias for the sweep [V]." in
+    Arg.(value & opt float 0.25 & info [ "vd" ] ~docv:"V" ~doc)
+  in
+  let run () node strategy vd =
+    let _, _, pair = select_device node strategy in
+    let nfet = pair.Subscale.Circuits.Inverter.nfet in
+    print_endline "vgs,id_per_um";
+    Array.iter
+      (fun vg ->
+        Printf.printf "%.3f,%.6e\n" vg (1e-6 *. Subscale.Device.Iv_model.id nfet ~vgs:vg ~vds:vd))
+      (Subscale.Numerics.Vec.linspace 0.0 0.9 46)
+  in
+  let doc = "Dump a compact-model Id-Vg sweep as CSV (A/um)" in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ log_term $ node_arg $ strategy_arg $ vd_arg)
+
+let vdd_arg =
+  let doc = "Supply voltage [V]." in
+  Arg.(value & opt float 0.25 & info [ "vdd" ] ~docv:"V" ~doc)
+
+let out_arg ~default =
+  let doc = "Output file path." in
+  Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let liberty_cmd =
+  let run () node strategy vdd path =
+    let _, _, pair = select_device node strategy in
+    Printf.printf "characterizing INV/NAND2/NOR2 at %.0f mV...\n%!" (1000.0 *. vdd);
+    let lib = Subscale.Sta.Cell_lib.characterize pair ~vdd in
+    let name = Printf.sprintf "subscale_%dnm_%s_%.0fmv" node strategy (1000.0 *. vdd) in
+    Subscale.Sta.Liberty.write ~path ~name lib;
+    Printf.printf "wrote %s\n" path
+  in
+  let doc = "Characterize a cell library and write it as a Liberty (.lib) file" in
+  Cmd.v (Cmd.info "liberty" ~doc)
+    Term.(const run $ log_term $ node_arg $ strategy_arg $ vdd_arg
+          $ out_arg ~default:"subscale.lib")
+
+let export_cmd =
+  let circuit_arg =
+    let doc = "Circuit to export: 'inverter', 'chain' or 'adder'." in
+    Arg.(value & opt string "inverter" & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let run () node strategy vdd circuit path =
+    let _, _, pair = select_device node strategy in
+    let netlist =
+      match circuit with
+      | "inverter" ->
+        (Subscale.Circuits.Inverter.dc pair ~vdd).Subscale.Circuits.Inverter.circuit
+      | "chain" ->
+        (Subscale.Circuits.Chain.build ~stages:8 pair ~vdd)
+          .Subscale.Circuits.Chain.fixture.Subscale.Circuits.Inverter.circuit
+      | "adder" ->
+        (Subscale.Circuits.Adder.ripple_carry pair ~vdd ~bits:4)
+          .Subscale.Circuits.Adder.circuit
+      | other ->
+        Printf.eprintf "unknown circuit %S (inverter, chain, adder)\n" other;
+        exit 2
+    in
+    let title = Printf.sprintf "%s, %d nm %s device, Vdd=%.3f V" circuit node strategy vdd in
+    Subscale.Spice.Export.write ~path ~title netlist;
+    Printf.printf "wrote %s\n" path
+  in
+  let doc = "Export a generated circuit as a SPICE deck" in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ log_term $ node_arg $ strategy_arg $ vdd_arg $ circuit_arg
+          $ out_arg ~default:"subscale.sp")
+
+let verilog_cmd =
+  let bits_arg =
+    let doc = "Adder width in bits." in
+    Arg.(value & opt int 8 & info [ "bits" ] ~docv:"N" ~doc)
+  in
+  let run () bits path =
+    let d = Subscale.Sta.Design.create () in
+    let a = Array.init bits (fun _ -> Subscale.Sta.Design.fresh_net d) in
+    let b = Array.init bits (fun _ -> Subscale.Sta.Design.fresh_net d) in
+    let cin = Subscale.Sta.Design.fresh_net d in
+    Array.iter (Subscale.Sta.Design.mark_input d) a;
+    Array.iter (Subscale.Sta.Design.mark_input d) b;
+    Subscale.Sta.Design.mark_input d cin;
+    let sums, cout = Subscale.Sta.Design.ripple_carry_adder d ~a ~b ~cin in
+    Array.iter (Subscale.Sta.Design.mark_output d) sums;
+    Subscale.Sta.Design.mark_output d cout;
+    let name = Printf.sprintf "rca%d" bits in
+    let oc = open_out path in
+    output_string oc (Subscale.Sta.Verilog.to_verilog ~module_name:name d);
+    close_out oc;
+    Printf.printf "wrote %s (%d gates)\n" path (List.length (Subscale.Sta.Design.gates d))
+  in
+  let doc = "Generate a gate-level ripple-carry adder as structural Verilog" in
+  Cmd.v (Cmd.info "verilog" ~doc)
+    Term.(const run $ log_term $ bits_arg $ out_arg ~default:"adder.v")
+
+let main =
+  let doc = "Subthreshold device-scaling study (DAC 2007 reproduction)" in
+  Cmd.group (Cmd.info "subscale" ~doc ~version:"1.0.0")
+    [ run_cmd; device_cmd; tcad_cmd; sweep_cmd; liberty_cmd; export_cmd; verilog_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,49 @@
+(* Quickstart: build a scaled device, look at its subthreshold metrics, and
+   compare the two scaling strategies at one node.
+
+     dune exec examples/quickstart.exe *)
+
+open Subscale
+
+let () =
+  (* 1. A device straight from the paper's Table 2 (90 nm, super-Vth). *)
+  let phys = List.hd Device.Params.paper_table2 in
+  let nfet = Device.Compact.nfet phys in
+  Printf.printf "90 nm super-Vth NFET:\n";
+  Printf.printf "  SS        = %.1f mV/dec\n" (1000.0 *. nfet.Device.Compact.ss);
+  Printf.printf "  Vth(sat)  = %.0f mV\n"
+    (1000.0 *. Device.Iv_model.threshold_const_current nfet ~vds:phys.Device.Params.vdd);
+  Printf.printf "  Ioff      = %.0f pA/um\n"
+    (Physics.Constants.to_pa_per_um
+       (Device.Iv_model.ioff nfet ~vdd:phys.Device.Params.vdd));
+  Printf.printf "  Ion/Ioff @250mV = %.0f\n\n" (Device.Iv_model.on_off_ratio nfet ~vdd:0.25);
+
+  (* 2. An inverter at the sub-Vth operating point. *)
+  let pair = Circuits.Inverter.pair_of_physical phys in
+  let sizing = Circuits.Inverter.balanced_sizing () in
+  let margins = Analysis.Snm.inverter ~engine:`Spice pair ~sizing ~vdd:0.25 in
+  Printf.printf "Inverter at Vdd = 250 mV:\n";
+  Printf.printf "  SNM  = %.1f mV (NML %.1f / NMH %.1f)\n"
+    (1000.0 *. margins.Analysis.Snm.snm)
+    (1000.0 *. margins.Analysis.Snm.nml)
+    (1000.0 *. margins.Analysis.Snm.nmh);
+  Printf.printf "  FO1 delay (Eq. 5) = %.0f ns\n\n"
+    (1e9 *. Analysis.Delay.eq5 pair ~sizing ~vdd:0.25);
+
+  (* 3. The minimum-energy point of a 30-inverter chain. *)
+  let vmin = Analysis.Energy.vmin ~sizing pair in
+  Printf.printf "30-inverter chain (alpha = 0.1):\n";
+  Printf.printf "  Vmin     = %.0f mV\n" (1000.0 *. vmin.Analysis.Energy.vmin);
+  Printf.printf "  E/cycle  = %.2f fJ\n\n" (1e15 *. vmin.Analysis.Energy.e_min);
+
+  (* 4. What the paper proposes: re-optimize the same node for sub-Vth use. *)
+  let node = Scaling.Roadmap.find 90 in
+  let sub = Scaling.Sub_vth.select_node node in
+  let sub_nfet = sub.Scaling.Sub_vth.pair.Circuits.Inverter.nfet in
+  Printf.printf "Sub-Vth re-optimized 90 nm device:\n";
+  Printf.printf "  Lpoly = %.0f nm (roadmap: %.0f nm)\n"
+    (Physics.Constants.to_nm sub.Scaling.Sub_vth.phys.Device.Params.lpoly)
+    (Physics.Constants.to_nm node.Scaling.Roadmap.lpoly);
+  Printf.printf "  SS    = %.1f mV/dec (vs %.1f super-Vth)\n"
+    (1000.0 *. sub_nfet.Device.Compact.ss)
+    (1000.0 *. nfet.Device.Compact.ss)

@@ -1,0 +1,57 @@
+(* Sensor-node energy budget — the application class that motivates the
+   paper's introduction (RFID tags, sensor processors at pJ/instruction).
+
+   We model the processor datapath as logic clocked at its own critical
+   path: energy per "instruction" is the chain energy per cycle scaled to a
+   logic depth of 30 FO1 inverters per pipeline stage, and compare the
+   operating points (nominal Vdd, 250 mV, and Vmin) across the scaling
+   strategies.
+
+     dune exec examples/sensor_node.exe *)
+
+open Subscale
+
+let gates_per_instruction = 2000.0
+(* A small sensor core issues on the order of a few thousand gate
+   equivalents of switching per instruction (ref [2]-class core). *)
+
+let energy_per_instruction pair ~vdd =
+  let b = Analysis.Energy.analytic ~stages:30 ~alpha:0.1 pair ~vdd in
+  b.Analysis.Energy.e_total /. 30.0 *. gates_per_instruction
+
+let frequency pair ~vdd =
+  let sizing = Circuits.Inverter.balanced_sizing () in
+  let tp = Analysis.Delay.eq5 pair ~sizing ~vdd in
+  1.0 /. (30.0 *. tp)
+
+let () =
+  let describe label pair nominal_vdd =
+    let sizing = Circuits.Inverter.balanced_sizing () in
+    let vmin = (Analysis.Energy.vmin ~sizing pair).Analysis.Energy.vmin in
+    Printf.printf "%s\n" label;
+    List.iter
+      (fun (name, vdd) ->
+        Printf.printf "  %-14s Vdd=%3.0f mV  %8.2f pJ/inst  %10.3f MHz\n" name
+          (1000.0 *. vdd)
+          (1e12 *. energy_per_instruction pair ~vdd)
+          (1e-6 *. frequency pair ~vdd))
+      [ ("nominal", nominal_vdd); ("sub-Vth 250mV", 0.25); ("Vmin", vmin) ];
+    print_newline ()
+  in
+  let node = Scaling.Roadmap.find 32 in
+  let super = Scaling.Super_vth.select_node node in
+  let sub = Scaling.Sub_vth.select_node node in
+  Printf.printf "Energy per instruction, 32 nm node (%.0f gate-equivalents/inst):\n\n"
+    gates_per_instruction;
+  describe "super-Vth scaled device:" super.Scaling.Super_vth.pair node.Scaling.Roadmap.vdd;
+  describe "sub-Vth optimized device:" sub.Scaling.Sub_vth.pair node.Scaling.Roadmap.vdd;
+  let e_super =
+    energy_per_instruction super.Scaling.Super_vth.pair
+      ~vdd:(Analysis.Energy.vmin super.Scaling.Super_vth.pair).Analysis.Energy.vmin
+  in
+  let e_sub =
+    energy_per_instruction sub.Scaling.Sub_vth.pair
+      ~vdd:(Analysis.Energy.vmin sub.Scaling.Sub_vth.pair).Analysis.Energy.vmin
+  in
+  Printf.printf "sub-Vth device saves %.0f%% energy per instruction at Vmin.\n"
+    (100.0 *. (1.0 -. (e_sub /. e_super)))

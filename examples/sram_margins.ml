@@ -1,0 +1,36 @@
+(* SRAM static noise margins under device scaling — the paper's Sec. 2.3.2
+   flags SRAM as the circuit where SNM loss bites first (ref [16], a
+   sub-200 mV 6T SRAM).
+
+   For each node and each scaling strategy we compute the 6T cell's hold and
+   read butterfly SNM at Vdd = 300 mV.
+
+     dune exec examples/sram_margins.exe *)
+
+open Subscale
+
+let cell_snm pair config =
+  let cell = Circuits.Sram.make ~beta:1.5 pair ~vdd:0.3 in
+  let vin, v1, v2 = Circuits.Sram.butterfly ~points:61 cell config in
+  Analysis.Snm.butterfly_snm ~vin ~v1 ~v2
+
+let () =
+  Printf.printf "6T SRAM butterfly SNM at Vdd = 300 mV (beta = 1.5)\n\n";
+  Printf.printf "%-6s %-12s %-12s %-12s %-12s\n" "node" "hold super" "read super"
+    "hold sub" "read sub";
+  let supers = Scaling.Super_vth.all () in
+  let subs = Scaling.Sub_vth.all () in
+  List.iter2
+    (fun sup sub ->
+      let hold_sup = cell_snm sup.Scaling.Super_vth.pair Circuits.Sram.Hold in
+      let read_sup = cell_snm sup.Scaling.Super_vth.pair Circuits.Sram.Read in
+      let hold_sub = cell_snm sub.Scaling.Sub_vth.pair Circuits.Sram.Hold in
+      let read_sub = cell_snm sub.Scaling.Sub_vth.pair Circuits.Sram.Read in
+      Printf.printf "%-6d %9.1f mV %9.1f mV %9.1f mV %9.1f mV\n"
+        sup.Scaling.Super_vth.node.Scaling.Roadmap.nm (1000.0 *. hold_sup)
+        (1000.0 *. read_sup) (1000.0 *. hold_sub) (1000.0 *. read_sub))
+    supers subs;
+  print_newline ();
+  Printf.printf "Read margins are the binding constraint; the sub-Vth scaling\n";
+  Printf.printf "strategy holds them roughly flat while super-Vth scaling erodes\n";
+  Printf.printf "them with every generation -- the paper's SRAM concern.\n"

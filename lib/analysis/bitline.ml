@@ -1,0 +1,26 @@
+let max_bits_per_line ?(margin = 4.0) dev ~vdd =
+  if margin <= 0.0 then invalid_arg "Bitline.max_bits_per_line: margin must be positive";
+  let ratio = Device.Iv_model.on_off_ratio dev ~vdd in
+  Int.max 1 (1 + int_of_float (ratio /. margin))
+
+type swing = {
+  bits : int;
+  read_current : float;
+  leak_current : float;
+  effective_current : float;
+  swing_time : float;
+}
+
+let read_swing ?(bitline_cap_per_bit = 0.08e-15 /. 1e-6) ?(sense_margin = 0.05) dev ~vdd
+    ~bits =
+  if bits < 1 then invalid_arg "Bitline.read_swing: need at least one bit";
+  let read_current = Device.Iv_model.ion dev ~vdd in
+  let leak_current = float_of_int (bits - 1) *. Device.Iv_model.ioff dev ~vdd in
+  let effective_current = read_current -. leak_current in
+  if effective_current <= 0.0 then
+    invalid_arg
+      (Printf.sprintf
+         "Bitline.read_swing: %d bits leak more than the read current provides" bits);
+  let cap = float_of_int bits *. bitline_cap_per_bit in
+  { bits; read_current; leak_current; effective_current;
+    swing_time = cap *. sense_margin /. effective_current }

@@ -1,0 +1,30 @@
+(** SRAM bitline integrity in the sub-V_th regime.
+
+    Sec. 2.3.2: "a small I_on/I_off in sub-V_th circuits already places
+    tight limits on the maximum number of bits/line" (ref [16]).  During a
+    read, one accessed cell discharges the bitline with I_on while the
+    other N-1 cells on the line leak I_off each, possibly in the opposing
+    direction; sensing needs the read current to beat the aggregate leak by
+    a margin. *)
+
+val max_bits_per_line :
+  ?margin:float -> Device.Compact.t -> vdd:float -> int
+(** Largest N with I_on >= margin x (N - 1) I_off (default margin 4, a
+    conservative sense-amp requirement), both currents at [vdd]. *)
+
+type swing = {
+  bits : int;
+  read_current : float;  (** accessed cell [A/m width] *)
+  leak_current : float;  (** aggregate opposing leakage [A/m width] *)
+  effective_current : float;  (** what actually discharges the line *)
+  swing_time : float;  (** time to develop a 50 mV swing on the line [s] *)
+}
+
+val read_swing :
+  ?bitline_cap_per_bit:float -> ?sense_margin:float ->
+  Device.Compact.t -> vdd:float -> bits:int -> swing
+(** Bitline discharge budget for an N-bit line: capacitance
+    N x [bitline_cap_per_bit] (default 0.08 fF/um of device width per bit —
+    wire plus drain junction), target differential [sense_margin]
+    (default 50 mV).  Raises [Invalid_argument] if the leakage exceeds the
+    read current (the line never develops the swing). *)

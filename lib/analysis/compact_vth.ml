@@ -1,0 +1,1 @@
+let vth_sub dev = Device.Compact.vth dev ~vds:(10.0 *. Physics.Constants.vt_room)

@@ -1,0 +1,8 @@
+(** Small shared helper: the threshold voltage at the subthreshold operating
+    point (V_ds at a representative saturation bias of a few vT), used by
+    the analytic VTC/SNM/delay expressions which treat V_th as a constant. *)
+
+val vth_sub : Device.Compact.t -> float
+(** V_th evaluated at V_ds = 10 vT — deep enough in saturation that the
+    (1 - e^{-V_ds/vT}) factor is negligible, low enough that DIBL stays at
+    its sub-V_th operating value. *)

@@ -1,0 +1,79 @@
+let tau ?(sizing = Circuits.Inverter.balanced_sizing ()) pair ~vdd =
+  let cin = Circuits.Inverter.gate_capacitance pair sizing in
+  let i_n = sizing.Circuits.Inverter.wn *. Device.Iv_model.ion pair.Circuits.Inverter.nfet ~vdd in
+  let i_p = sizing.Circuits.Inverter.wp *. Device.Iv_model.ion pair.Circuits.Inverter.pfet ~vdd in
+  Delay.k_d *. cin *. vdd /. (0.5 *. (i_n +. i_p))
+
+let parasitic_delay (pair : Circuits.Inverter.pair) =
+  pair.Circuits.Inverter.nfet.Device.Compact.cal.Device.Params.load_factor -. 1.0
+
+type plan = {
+  stages : int;
+  stage_effort : float;
+  scales : float array;
+  estimated_delay : float;
+}
+
+let plan_for ?(sizing = Circuits.Inverter.balanced_sizing ()) pair ~vdd ~c_load ~stages =
+  let cin = Circuits.Inverter.gate_capacitance pair sizing in
+  let f_total = c_load /. cin in
+  let n = float_of_int stages in
+  let stage_effort = f_total ** (1.0 /. n) in
+  let scales = Array.init stages (fun i -> stage_effort ** float_of_int i) in
+  let p = parasitic_delay pair in
+  {
+    stages;
+    stage_effort;
+    scales;
+    estimated_delay = tau ~sizing pair ~vdd *. n *. (stage_effort +. p);
+  }
+
+let plan_driver ?(sizing = Circuits.Inverter.balanced_sizing ()) pair ~vdd ~c_load =
+  if c_load <= 0.0 then invalid_arg "Logical_effort.plan_driver: load must be positive";
+  let cin = Circuits.Inverter.gate_capacitance pair sizing in
+  let f_total = Float.max 1.0 (c_load /. cin) in
+  (* Continuous optimum: N = ln F / ln rho* with rho* solving
+     rho (ln rho - 1) = p; rho* ~ 3.6-4 for p ~ 0.6-1. *)
+  let n_star = Float.max 1.0 (log f_total /. log 4.0) in
+  let candidates =
+    List.sort_uniq compare
+      [ Int.max 1 (int_of_float (floor n_star)); Int.max 1 (int_of_float (ceil n_star)) ]
+  in
+  List.fold_left
+    (fun best n ->
+      let p = plan_for ~sizing pair ~vdd ~c_load ~stages:n in
+      if p.estimated_delay < best.estimated_delay then p else best)
+    (plan_for ~sizing pair ~vdd ~c_load ~stages:(List.hd candidates))
+    (List.tl candidates)
+
+let measured_delay ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(steps = 900) pair ~vdd
+    ~c_load ~scales =
+  let t_unit = tau ~sizing pair ~vdd in
+  let f_est =
+    c_load /. Circuits.Inverter.gate_capacitance pair sizing /. Float.max 1.0
+      (float_of_int (Array.length scales))
+  in
+  let window =
+    20.0 *. t_unit *. float_of_int (Array.length scales) *. Float.max 1.0 f_est
+  in
+  let edge = 2.0 *. t_unit in
+  let t0 = 0.05 *. window in
+  let input = Spice.Netlist.Pwl [ (0.0, 0.0); (t0, 0.0); (t0 +. edge, vdd) ] in
+  let fx =
+    Circuits.Inverter.tapered_chain_fixture ~sizing ~scales pair ~vdd ~input
+      ~final_load:c_load
+  in
+  let sys = Spice.Mna.build fx.Circuits.Inverter.circuit in
+  let result = Spice.Transient.run sys ~t_stop:window ~steps in
+  let times = result.Spice.Transient.times in
+  let out =
+    Spice.Transient.voltage_of result
+      fx.Circuits.Inverter.stage_nodes.(Array.length fx.Circuits.Inverter.stage_nodes - 1)
+  in
+  let t_in = t0 +. (0.5 *. edge) in
+  match
+    Spice.Waveform.first_crossing ~after:(0.5 *. t0) ~times ~values:out ~level:(0.5 *. vdd)
+      Spice.Waveform.Either
+  with
+  | Some t_out -> t_out -. t_in
+  | None -> failwith "Logical_effort.measured_delay: load never crossed mid-rail"

@@ -1,0 +1,45 @@
+(** Logical-effort driver sizing.
+
+    With delay linear in fan-out, tp(h) = tau (p + h), the minimum-delay
+    buffer chain driving a big load uses N ~ ln F stages of equal effort
+    F^{1/N} — Sutherland/Sproull's classic result, which holds in the
+    sub-V_th regime too because Eq. 5's delay stays linear in C_L (only tau
+    blows up).  Driving large fan-outs (clock spines, bitlines) at V_min is
+    a standard sub-V_th design task. *)
+
+val tau : ?sizing:Circuits.Inverter.sizing -> Circuits.Inverter.pair -> vdd:float -> float
+(** The technology's unit delay [s]: the Eq. 5 slope per unit fan-out,
+    0.69 C_in V_dd / I_on,avg. *)
+
+val parasitic_delay : Circuits.Inverter.pair -> float
+(** p: the self-loading term in fan-out units (load_factor - 1 under this
+    library's load model). *)
+
+type plan = {
+  stages : int;
+  stage_effort : float;  (** F^{1/N} *)
+  scales : float array;  (** per-stage sizing multipliers, 1 first *)
+  estimated_delay : float;  (** tau (N (f + p)) [s] *)
+}
+
+val plan_driver :
+  ?sizing:Circuits.Inverter.sizing ->
+  Circuits.Inverter.pair ->
+  vdd:float ->
+  c_load:float ->
+  plan
+(** Integer-optimal stage count (the best of floor/ceil of the continuous
+    optimum) for driving [c_load] farads from a unit-sized input.  Raises
+    [Invalid_argument] if [c_load] is not positive. *)
+
+val measured_delay :
+  ?sizing:Circuits.Inverter.sizing ->
+  ?steps:int ->
+  Circuits.Inverter.pair ->
+  vdd:float ->
+  c_load:float ->
+  scales:float array ->
+  float
+(** Transient 50 % delay through a tapered chain into the load — the
+    validation path for a plan (input edge shaped like a unit-inverter
+    output). *)

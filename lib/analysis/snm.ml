@@ -1,0 +1,88 @@
+type margins = {
+  vil : float;
+  vih : float;
+  vol : float;
+  voh : float;
+  nml : float;
+  nmh : float;
+  snm : float;
+}
+
+let of_curve curve =
+  let g = Vtc.gain curve in
+  let crossings = Numerics.Interp.crossings curve.Vtc.vin g (-1.0) in
+  match crossings with
+  | vil :: rest ->
+    let vih =
+      match List.rev rest with
+      | vih :: _ -> vih
+      | [] -> failwith "Snm.of_curve: only one gain = -1 point (insufficient gain)"
+    in
+    let vout_at v = Numerics.Interp.linear curve.Vtc.vin curve.Vtc.vout v in
+    let voh = vout_at vil and vol = vout_at vih in
+    let nml = vil -. vol and nmh = voh -. vih in
+    { vil; vih; vol; voh; nml; nmh; snm = Float.min nml nmh }
+  | [] -> failwith "Snm.of_curve: no gain = -1 point (insufficient gain)"
+
+let inverter ?(engine = `Analytic) pair ~sizing ~vdd =
+  let curve =
+    match engine with
+    | `Analytic -> Vtc.analytic ~points:201 pair ~sizing ~vdd
+    | `Spice -> Vtc.spice ~points:201 pair ~sizing ~vdd
+  in
+  of_curve curve
+
+(* Maximum-square method.  An axis-aligned square inscribed in a butterfly
+   lobe with opposite corners on the two branches has its diagonal along a
+   45-degree line y = x + c, so its side is 1/sqrt(2) times the branch
+   separation measured along that line.  Parametrize both branches by the
+   anti-diagonal coordinate v = (y - x)/sqrt(2) — strictly monotone for any
+   decreasing transfer curve — and take the largest diagonal-direction
+   separation in u = (x + y)/sqrt(2).  Curve 1 is (x, v1(x)); curve 2 is the
+   mirrored (v2(y), y). *)
+let butterfly_snm ~vin ~v1 ~v2 =
+  let n = Array.length vin in
+  if Array.length v1 <> n || Array.length v2 <> n then
+    invalid_arg "Snm.butterfly_snm: length mismatch";
+  let s2 = sqrt 2.0 in
+  let rot xs ys =
+    let v = Array.init n (fun i -> (ys i -. xs i) /. s2) in
+    let u = Array.init n (fun i -> (xs i +. ys i) /. s2) in
+    (v, u)
+  in
+  let v1r, u1 = rot (fun i -> vin.(i)) (fun i -> v1.(i)) in
+  let v2r, u2 = rot (fun i -> v2.(i)) (fun i -> vin.(i)) in
+  (* Make the parameter increasing and drop any numerically stalled points. *)
+  let ascending (v, u) =
+    let k = Array.length v in
+    if k >= 2 && v.(0) > v.(k - 1) then
+      (Array.init k (fun i -> v.(k - 1 - i)), Array.init k (fun i -> u.(k - 1 - i)))
+    else (v, u)
+  in
+  let dedup (v, u) =
+    let vl = ref [ v.(0) ] and ul = ref [ u.(0) ] in
+    for i = 1 to Array.length v - 1 do
+      match !vl with
+      | last :: _ when v.(i) > last +. 1e-12 ->
+        vl := v.(i) :: !vl;
+        ul := u.(i) :: !ul
+      | _ -> ()
+    done;
+    (Array.of_list (List.rev !vl), Array.of_list (List.rev !ul))
+  in
+  let v1r, u1 = dedup (ascending (v1r, u1)) in
+  let v2r, u2 = dedup (ascending (v2r, u2)) in
+  let lo = Float.max v1r.(0) v2r.(0) in
+  let hi = Float.min v1r.(Array.length v1r - 1) v2r.(Array.length v2r - 1) in
+  if hi <= lo then 0.0
+  else begin
+    let samples = 400 in
+    let upper_lobe = ref 0.0 and lower_lobe = ref 0.0 in
+    for i = 0 to samples do
+      let v = lo +. ((hi -. lo) *. float_of_int i /. float_of_int samples) in
+      let d = Numerics.Interp.linear v1r u1 v -. Numerics.Interp.linear v2r u2 v in
+      if d > !upper_lobe then upper_lobe := d;
+      if -.d > !lower_lobe then lower_lobe := -.d
+    done;
+    Float.min !upper_lobe !lower_lobe /. s2
+  end

@@ -1,0 +1,85 @@
+let k_rdf = 1.8
+
+let sigma_vth ?(k = k_rdf) (dev : Device.Compact.t) ~width =
+  if width <= 0.0 then invalid_arg "Variability.sigma_vth: width must be positive";
+  let q = Physics.Constants.q in
+  k *. q /. dev.Device.Compact.cox
+  *. sqrt
+       (dev.Device.Compact.neff *. dev.Device.Compact.wdep
+        /. (3.0 *. width *. dev.Device.Compact.leff))
+
+type distribution = {
+  samples : Numerics.Vec.t;
+  mean : float;
+  sigma : float;
+  p95 : float;
+  ratio_95_to_mean : float;
+}
+
+let summarize samples =
+  if Array.length samples = 0 then invalid_arg "Variability.summarize: empty";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let mean = Numerics.Stats.mean sorted in
+  let sigma = Numerics.Stats.stddev sorted in
+  let n = Array.length sorted in
+  let p95 = sorted.(Int.min (n - 1) (int_of_float (0.95 *. float_of_int n))) in
+  { samples = sorted; mean; sigma; p95; ratio_95_to_mean = p95 /. mean }
+
+(* Per-stage delay with mismatched devices: Eq. 5 with the shifted pair.
+   The load capacitance is mismatch-free (geometry, not doping). *)
+let stage_delay (pair : Circuits.Inverter.pair) sizing ~vdd ~dvn ~dvp =
+  let nfet = Device.Compact.with_vth_shift pair.Circuits.Inverter.nfet dvn in
+  let pfet = Device.Compact.with_vth_shift pair.Circuits.Inverter.pfet dvp in
+  let cl = Circuits.Inverter.load_capacitance pair sizing in
+  let i_n = sizing.Circuits.Inverter.wn *. Device.Iv_model.ion nfet ~vdd in
+  let i_p = sizing.Circuits.Inverter.wp *. Device.Iv_model.ion pfet ~vdd in
+  Delay.k_d *. cl *. vdd /. (0.5 *. (i_n +. i_p))
+
+let chain_delay_distribution ?(seed = 42) ?(trials = 400) ?(stages = 30)
+    ?(sizing = Circuits.Inverter.balanced_sizing ()) pair ~vdd =
+  if trials < 2 then invalid_arg "Variability.chain_delay_distribution: need >= 2 trials";
+  let rng = Numerics.Rng.create ~seed in
+  let sn = sigma_vth pair.Circuits.Inverter.nfet ~width:sizing.Circuits.Inverter.wn in
+  let sp = sigma_vth pair.Circuits.Inverter.pfet ~width:sizing.Circuits.Inverter.wp in
+  let samples =
+    Array.init trials (fun _ ->
+        let total = ref 0.0 in
+        for _stage = 1 to stages do
+          let dvn = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sn in
+          let dvp = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sp in
+          total := !total +. stage_delay pair sizing ~vdd ~dvn ~dvp
+        done;
+        !total)
+  in
+  summarize samples
+
+let snm_distribution ?(seed = 42) ?(trials = 400)
+    ?(sizing = Circuits.Inverter.balanced_sizing ()) (pair : Circuits.Inverter.pair) ~vdd =
+  if trials < 2 then invalid_arg "Variability.snm_distribution: need >= 2 trials";
+  let rng = Numerics.Rng.create ~seed in
+  let sn = sigma_vth pair.Circuits.Inverter.nfet ~width:sizing.Circuits.Inverter.wn in
+  let sp = sigma_vth pair.Circuits.Inverter.pfet ~width:sizing.Circuits.Inverter.wp in
+  let samples =
+    Array.init trials (fun _ ->
+        let dvn = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sn in
+        let dvp = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sp in
+        let pair' =
+          {
+            Circuits.Inverter.nfet =
+              Device.Compact.with_vth_shift pair.Circuits.Inverter.nfet dvn;
+            pfet = Device.Compact.with_vth_shift pair.Circuits.Inverter.pfet dvp;
+          }
+        in
+        match Snm.inverter ~engine:`Analytic pair' ~sizing ~vdd with
+        | margins -> Float.max 0.0 margins.Snm.snm
+        | exception Failure _ -> 0.0)
+  in
+  summarize samples
+
+let delay_spread_vs_vdd ?seed ?trials ?stages pair ~vdds =
+  List.map
+    (fun vdd ->
+      let d = chain_delay_distribution ?seed ?trials ?stages pair ~vdd in
+      (vdd, d.sigma /. d.mean))
+    vdds

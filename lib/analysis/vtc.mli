@@ -1,0 +1,26 @@
+(** Inverter voltage transfer characteristics, by two routes:
+
+    - [analytic]: the paper's Eq. 3(b) — V_in as an explicit function of
+      V_out from equating the NFET and PFET weak-inversion currents (Eq. 1).
+      Valid in the sub-V_th regime.
+    - [spice]: a DC sweep of the full nonlinear circuit, valid at any V_dd.
+
+    Both return curves sampled as (vin, vout) arrays with vin increasing. *)
+
+type curve = { vin : Numerics.Vec.t; vout : Numerics.Vec.t }
+
+val analytic :
+  ?points:int -> Circuits.Inverter.pair -> sizing:Circuits.Inverter.sizing ->
+  vdd:float -> curve
+(** Eq. 3(b), using each device's I_o (current at V_gs = V_th), m and V_th,
+    with the device widths folded into the I_o ratio. *)
+
+val spice :
+  ?points:int -> Circuits.Inverter.pair -> sizing:Circuits.Inverter.sizing ->
+  vdd:float -> curve
+
+val gain : curve -> Numerics.Vec.t
+(** dV_out/dV_in by central differences (forward/backward at the ends). *)
+
+val switching_threshold : curve -> float
+(** V_M where V_out = V_in. *)

@@ -1,0 +1,36 @@
+(** SRAM yield under threshold mismatch — the quantitative version of the
+    paper's Sec. 2.3.2 worry (and of ref [16]'s sub-200 mV SRAM): a cell
+    fails when mismatch erases its static noise margin, so array yield sets
+    the minimum operating voltage.
+
+    Failure probability comes from a Gaussian fit of the Monte Carlo SNM
+    distribution (the standard importance approximation); array yield is
+    (1 - p_cell)^bits. *)
+
+type assessment = {
+  vdd : float;
+  snm_mean : float;
+  snm_sigma : float;
+  p_cell_fail : float;
+  yield_1kb : float;
+  yield_1mb : float;
+}
+
+val default_sizing : Circuits.Inverter.sizing
+(** Near-minimum-width cell devices (0.15 um N / 0.2 um P) — mismatch scales
+    as 1/sqrt(W L), so memory cells see several times the logic sigma. *)
+
+val assess :
+  ?seed:int -> ?trials:int -> ?sizing:Circuits.Inverter.sizing ->
+  Circuits.Inverter.pair -> vdd:float -> assessment
+
+val array_yield : p_cell_fail:float -> bits:int -> float
+
+val min_vdd_for_yield :
+  ?seed:int -> ?trials:int -> ?sizing:Circuits.Inverter.sizing ->
+  ?lo:float -> ?hi:float ->
+  Circuits.Inverter.pair -> bits:int -> target:float -> float
+(** Smallest supply (within [[lo, hi]], defaults 0.10 .. 0.60 V) at which an
+    array of [bits] cells yields at least [target] (e.g. 0.9), found by
+    bisection on the Gaussian-fit yield (monotone in V_dd).  Raises
+    [Failure] if even [hi] cannot reach the target. *)

@@ -1,0 +1,31 @@
+(** Subscale: reproduction of "Nanometer Device Scaling in Subthreshold
+    Circuits" (Hanson, Seok, Sylvester, Blaauw — DAC 2007).
+
+    This module is the library's front door: it re-exports the substrate
+    libraries under one namespace and hosts the per-table/per-figure
+    experiment drivers ({!Experiments}).
+
+    Layer map (bottom-up):
+    - {!Physics} / {!Numerics} — material models and numerical kernels;
+    - {!Tcad} — the 2-D drift-diffusion device simulator (MEDICI stand-in);
+    - {!Device} — calibrated compact MOSFET model (paper Eqs. 1-2);
+    - {!Spice} / {!Circuits} — MNA circuit simulator and circuit generators;
+    - {!Analysis} — VTC/SNM, delay (Eqs. 4-6), energy and V_min (Eqs. 7-8);
+    - {!Scaling} — roadmap, generalized scaling (Table 1), the two
+      scaling-strategy optimizers (Tables 2-3) and multi-V_th offerings;
+    - {!Interconnect} — wire RC, Elmore estimates and repeater planning;
+    - {!Sta} — cell characterization and static timing analysis;
+    - {!Experiments} — one driver per table and figure. *)
+
+module Physics = Physics
+module Numerics = Numerics
+module Tcad = Tcad
+module Device = Device
+module Spice = Spice
+module Circuits = Circuits
+module Analysis = Analysis
+module Scaling = Scaling
+module Interconnect = Interconnect
+module Sta = Sta
+module Report = Report
+module Experiments = Experiments

@@ -1,0 +1,126 @@
+type t = {
+  phys : Params.physical;
+  cal : Params.calibration;
+  polarity : Params.polarity;
+  leff : float;
+  xj : float;
+  overlap : float;
+  neff : float;
+  phi_f : float;
+  wdep : float;
+  cox : float;
+  m : float;
+  ss : float;
+  vth0 : float;
+  vbi : float;
+  lt : float;
+  mu : float;
+  cg : float;
+  cg_intrinsic : float;
+  temperature : float;
+}
+
+let sd_doping = Physics.Constants.per_cm3 1.0e20
+
+let build ?(t = Physics.Constants.t_room) polarity cal (phys : Params.physical) =
+  let vt = Physics.Constants.thermal_voltage t in
+  let xj =
+    match phys.Params.xj with
+    | Some v -> v
+    | None -> cal.Params.xj_fraction *. phys.Params.lpoly
+  in
+  let overlap =
+    match phys.Params.overlap with
+    | Some v -> v
+    | None -> cal.Params.overlap_fraction *. phys.Params.lpoly
+  in
+  let leff = phys.Params.lpoly -. (2.0 *. overlap) in
+  if leff <= 0.0 then invalid_arg "Compact.build: overlap consumes the whole gate";
+  (* Channel-averaged halo weight: the pockets occupy a width ~ x_j on each
+     side, so their share of the channel falls as the channel lengthens —
+     the reason long-channel devices shed their halos (paper Sec. 3.1). *)
+  let halo_fraction = Float.min 0.85 (cal.Params.k_halo *. xj /. leff) in
+  let nhalo = Params.nhalo_net phys in
+  let neff = phys.Params.nsub +. (halo_fraction *. (nhalo -. phys.Params.nsub)) in
+  let phi_f = Physics.Silicon.fermi_potential ~t neff in
+  let wdep = Physics.Silicon.depletion_width ~psi:(2.0 *. phi_f) ~doping:neff in
+  let cox = Capacitance.oxide_area_capacitance ~tox:phys.Params.tox in
+  let ss =
+    Subthreshold.inverse_slope ~k_body:cal.Params.k_body ~k_sce:cal.Params.k_sce
+      ~k_lambda:cal.Params.k_lambda ~ss_offset:cal.Params.ss_offset ~t
+      ~xj_exp:cal.Params.lambda_xj_exp ~xj
+      ~tox:phys.Params.tox ~wdep ~leff ()
+  in
+  let m = ss /. (2.3 *. vt) in
+  let vth0 = Threshold.long_channel ~t ~neff ~cox () in
+  let vbi = Physics.Silicon.builtin_potential ~t neff sd_doping in
+  let lt = Threshold.characteristic_length ~tox:phys.Params.tox ~wdep in
+  let carrier =
+    match polarity with
+    | Params.Nfet -> Physics.Mobility.Electron
+    | Params.Pfet -> Physics.Mobility.Hole
+  in
+  let mu = cal.Params.mu_factor *. Physics.Mobility.channel ~t carrier neff in
+  let cg =
+    Capacitance.gate ~fringe:cal.Params.fringe_cap ~tox:phys.Params.tox ~leff ~overlap ()
+  in
+  let cg_intrinsic = cox *. (leff +. (2.0 *. overlap)) in
+  {
+    phys;
+    cal;
+    polarity;
+    leff;
+    xj;
+    overlap;
+    neff;
+    phi_f;
+    wdep;
+    cox;
+    m;
+    ss;
+    vth0;
+    vbi;
+    lt;
+    mu;
+    cg;
+    cg_intrinsic;
+    temperature = t;
+  }
+
+let nfet ?(cal = Params.default_calibration) ?t phys = build ?t Params.Nfet cal phys
+let pfet ?(cal = Params.default_calibration) ?t phys = build ?t Params.Pfet cal phys
+
+let vth dev ~vds =
+  dev.vth0
+  +. Threshold.rolloff ~k_vth_sce:dev.cal.Params.k_vth_sce ~k_dibl:dev.cal.Params.k_dibl
+       ~vbi:dev.vbi ~surface_potential:(2.0 *. dev.phi_f) ~vds ~leff:dev.leff ~lt:dev.lt ()
+  +. dev.cal.Params.vth_offset
+
+let with_vth_shift dev shift =
+  { dev with cal = { dev.cal with Params.vth_offset = dev.cal.Params.vth_offset +. shift } }
+
+let dibl dev =
+  dev.cal.Params.k_vth_sce *. dev.cal.Params.k_dibl *. exp (-.dev.leff /. (2.0 *. dev.lt))
+
+let mobility_ratio =
+  Physics.Mobility.channel Physics.Mobility.Electron (Physics.Constants.per_cm3 2e18)
+  /. Physics.Mobility.channel Physics.Mobility.Hole (Physics.Constants.per_cm3 2e18)
+
+let to_tcad_description dev =
+  {
+    Tcad.Structure.polarity =
+      (match dev.polarity with
+       | Params.Nfet -> Tcad.Structure.Nchannel
+       | Params.Pfet -> Tcad.Structure.Pchannel);
+    lpoly = dev.phys.Params.lpoly;
+    tox = dev.phys.Params.tox;
+    nsub = dev.phys.Params.nsub;
+    np_halo = dev.phys.Params.np_halo;
+    xj = dev.xj;
+    nsd = sd_doping;
+    overlap = dev.overlap;
+    halo_depth_frac = 0.5;
+    halo_sigma_frac = 0.45;
+    gate_doping = Physics.Constants.per_cm3 1.0e20;
+    temperature = dev.temperature;
+  }

@@ -1,0 +1,53 @@
+let vt_of dev = Physics.Constants.thermal_voltage dev.Compact.temperature
+
+let softplus x = if x > 40.0 then x else log1p (exp x)
+
+(* EKV interpolation function F(v) = ln^2(1 + e^{v/2}), v normalized to vT. *)
+let big_f v =
+  let l = softplus (0.5 *. v) in
+  l *. l
+
+let specific_current dev =
+  let vt = vt_of dev in
+  2.0 *. dev.Compact.m *. dev.Compact.mu *. dev.Compact.cox *. vt *. vt /. dev.Compact.leff
+
+let saturation_velocity_factor dev ~uf =
+  let vt = vt_of dev in
+  let carrier =
+    match dev.Compact.polarity with
+    | Params.Nfet -> Physics.Mobility.Electron
+    | Params.Pfet -> Physics.Mobility.Hole
+  in
+  let ec = Physics.Mobility.critical_field carrier dev.Compact.neff in
+  let vgt_eff = 2.0 *. vt *. sqrt (big_f uf) in
+  1.0 /. (1.0 +. (vgt_eff /. (ec *. dev.Compact.leff)))
+
+let id dev ~vgs ~vds =
+  if vds < 0.0 then invalid_arg "Iv_model.id: vds must be non-negative";
+  let vt = vt_of dev in
+  let vth = Compact.vth dev ~vds in
+  let vp = (vgs -. vth) /. dev.Compact.m in
+  let uf = vp /. vt in
+  let ur = (vp -. vds) /. vt in
+  let i_norm = big_f uf -. big_f ur in
+  specific_current dev *. i_norm *. saturation_velocity_factor dev ~uf
+
+let ioff dev ~vdd = id dev ~vgs:0.0 ~vds:vdd
+let ion dev ~vdd = id dev ~vgs:vdd ~vds:vdd
+let on_off_ratio dev ~vdd = ion dev ~vdd /. ioff dev ~vdd
+
+let gm dev ~vgs ~vds =
+  let h = 1e-5 in
+  (id dev ~vgs:(vgs +. h) ~vds -. id dev ~vgs:(vgs -. h) ~vds) /. (2.0 *. h)
+
+let gds dev ~vgs ~vds =
+  let h = 1e-5 in
+  let lo = Float.max 0.0 (vds -. h) in
+  (id dev ~vgs ~vds:(vds +. h) -. id dev ~vgs ~vds:lo) /. (vds +. h -. lo)
+
+let intrinsic_delay dev ~vdd = dev.Compact.cg_intrinsic *. vdd /. ion dev ~vdd
+
+let threshold_const_current dev ~vds =
+  let criterion = 1e-7 /. dev.Compact.leff in
+  let f vg = id dev ~vgs:vg ~vds -. criterion in
+  Numerics.Root.brent ~tol:1e-9 f (-0.5) 2.0

@@ -1,0 +1,78 @@
+type physical = {
+  node_nm : int;
+  lpoly : float;
+  tox : float;
+  nsub : float;
+  np_halo : float;
+  vdd : float;
+  xj : float option;
+  overlap : float option;
+}
+
+let nhalo_net p = p.nsub +. p.np_halo
+
+type calibration = {
+  xj_fraction : float;
+  overlap_fraction : float;
+  k_halo : float;
+  k_body : float;
+  k_sce : float;
+  k_lambda : float;
+  lambda_xj_exp : float;
+  halo_sce_exp : float;
+  ss_offset : float;
+  k_vth_sce : float;
+  k_dibl : float;
+  vth_offset : float;
+  mu_factor : float;
+  fringe_cap : float;
+  load_factor : float;
+}
+
+let default_calibration =
+  {
+    xj_fraction = 0.35;
+    overlap_fraction = 0.12;
+    k_halo = 0.98;
+    k_body = 1.0;
+    k_sce = 0.40;
+    k_lambda = 5.0;
+    lambda_xj_exp = 0.5;
+    halo_sce_exp = 0.0;
+    ss_offset = 0.0;
+    k_vth_sce = 0.55;
+    k_dibl = 1.0;
+    vth_offset = 0.0;
+    mu_factor = 2.5;
+    fringe_cap = 0.6e-9;
+    load_factor = 1.6;
+  }
+
+type polarity = Nfet | Pfet
+
+let nm = Physics.Constants.nm
+let cm3 = Physics.Constants.per_cm3
+
+let paper_table2 =
+  [
+    { node_nm = 90; lpoly = nm 65.0; tox = nm 2.10; nsub = cm3 1.52e18;
+      np_halo = cm3 (3.63e18 -. 1.52e18); vdd = 1.2; xj = None; overlap = None };
+    { node_nm = 65; lpoly = nm 46.0; tox = nm 1.89; nsub = cm3 1.97e18;
+      np_halo = cm3 (5.17e18 -. 1.97e18); vdd = 1.1; xj = None; overlap = None };
+    { node_nm = 45; lpoly = nm 32.0; tox = nm 1.70; nsub = cm3 2.52e18;
+      np_halo = cm3 (7.83e18 -. 2.52e18); vdd = 1.0; xj = None; overlap = None };
+    { node_nm = 32; lpoly = nm 22.0; tox = nm 1.53; nsub = cm3 3.31e18;
+      np_halo = cm3 (12.0e18 -. 3.31e18); vdd = 0.9; xj = None; overlap = None };
+  ]
+
+let paper_table3 =
+  [
+    { node_nm = 90; lpoly = nm 95.0; tox = nm 2.10; nsub = cm3 1.61e18;
+      np_halo = cm3 (2.02e18 -. 1.61e18); vdd = 0.0; xj = None; overlap = None };
+    { node_nm = 65; lpoly = nm 75.0; tox = nm 1.89; nsub = cm3 1.99e18;
+      np_halo = cm3 (2.73e18 -. 1.99e18); vdd = 0.0; xj = None; overlap = None };
+    { node_nm = 45; lpoly = nm 60.0; tox = nm 1.70; nsub = cm3 2.53e18;
+      np_halo = cm3 (2.93e18 -. 2.53e18); vdd = 0.0; xj = None; overlap = None };
+    { node_nm = 32; lpoly = nm 45.0; tox = nm 1.53; nsub = cm3 3.19e18;
+      np_halo = cm3 (4.89e18 -. 3.19e18); vdd = 0.0; xj = None; overlap = None };
+  ]

@@ -1,0 +1,38 @@
+(** Repeater insertion for long wires.
+
+    In super-V_th design the optimal repeater spacing is a classic result;
+    in the sub-V_th regime gate delay is so large that the optimal segment
+    grows enormously — most on-chip wires never need repeaters, a
+    qualitative difference this module quantifies. *)
+
+val driver_resistance :
+  Circuits.Inverter.pair -> sizing:Circuits.Inverter.sizing -> vdd:float -> float
+(** Equivalent switching resistance R_drv = V_dd / (2 I_on,avg) [ohm] of the
+    inverter at the given supply (average of the N and P drives). *)
+
+val optimal_segment_length :
+  Circuits.Inverter.pair ->
+  sizing:Circuits.Inverter.sizing ->
+  vdd:float ->
+  geometry:Wire.geometry ->
+  float
+(** L_opt = sqrt(2 R_drv (C_in + C_par) / (0.38 r c)) [m] — the spacing at
+    which segment wire delay matches repeater delay. *)
+
+type plan = {
+  length : float;
+  segments : int;  (** repeater count + 1 *)
+  segment_length : float;
+  total_delay : float;  (** [s] *)
+  unrepeated_delay : float;  (** same wire, single driver [s] *)
+}
+
+val plan_route :
+  Circuits.Inverter.pair ->
+  sizing:Circuits.Inverter.sizing ->
+  vdd:float ->
+  geometry:Wire.geometry ->
+  length:float ->
+  plan
+(** Best integer repeater count for a route (delay-minimal over the Elmore
+    model, evaluated exactly for each candidate count). *)

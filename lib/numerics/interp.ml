@@ -1,0 +1,87 @@
+let check xs ys name =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg (Printf.sprintf "Interp.%s: length mismatch" name);
+  if n < 2 then invalid_arg (Printf.sprintf "Interp.%s: need at least 2 points" name);
+  for i = 0 to n - 2 do
+    if xs.(i + 1) <= xs.(i) then
+      invalid_arg (Printf.sprintf "Interp.%s: abscissae must be strictly increasing" name)
+  done
+
+let search xs x =
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let linear xs ys x =
+  check xs ys "linear";
+  let n = Array.length xs in
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    let i = search xs x in
+    let t = (x -. xs.(i)) /. (xs.(i + 1) -. xs.(i)) in
+    ((1.0 -. t) *. ys.(i)) +. (t *. ys.(i + 1))
+  end
+
+type spline = { xs : Vec.t; ys : Vec.t; y2 : Vec.t }
+
+(* Natural cubic spline second derivatives (NR spline). *)
+let cubic_spline xs ys =
+  check xs ys "cubic_spline";
+  let n = Array.length xs in
+  let y2 = Array.make n 0.0 in
+  let u = Array.make n 0.0 in
+  for i = 1 to n - 2 do
+    let sig_ = (xs.(i) -. xs.(i - 1)) /. (xs.(i + 1) -. xs.(i - 1)) in
+    let p = (sig_ *. y2.(i - 1)) +. 2.0 in
+    y2.(i) <- (sig_ -. 1.0) /. p;
+    let du =
+      ((ys.(i + 1) -. ys.(i)) /. (xs.(i + 1) -. xs.(i)))
+      -. ((ys.(i) -. ys.(i - 1)) /. (xs.(i) -. xs.(i - 1)))
+    in
+    u.(i) <- (((6.0 *. du) /. (xs.(i + 1) -. xs.(i - 1))) -. (sig_ *. u.(i - 1))) /. p
+  done;
+  for k = n - 2 downto 0 do
+    y2.(k) <- (y2.(k) *. y2.(k + 1)) +. u.(k)
+  done;
+  { xs = Array.copy xs; ys = Array.copy ys; y2 }
+
+let spline_eval { xs; ys; y2 } x =
+  let i = search xs x in
+  let h = xs.(i + 1) -. xs.(i) in
+  let a = (xs.(i + 1) -. x) /. h in
+  let b = (x -. xs.(i)) /. h in
+  (a *. ys.(i)) +. (b *. ys.(i + 1))
+  +. ((((a *. a *. a) -. a) *. y2.(i) +. (((b *. b *. b) -. b) *. y2.(i + 1))) *. h *. h /. 6.0)
+
+let spline_derivative { xs; ys; y2 } x =
+  let i = search xs x in
+  let h = xs.(i + 1) -. xs.(i) in
+  let a = (xs.(i + 1) -. x) /. h in
+  let b = (x -. xs.(i)) /. h in
+  ((ys.(i + 1) -. ys.(i)) /. h)
+  -. (((3.0 *. a *. a) -. 1.0) *. h *. y2.(i) /. 6.0)
+  +. (((3.0 *. b *. b) -. 1.0) *. h *. y2.(i + 1) /. 6.0)
+
+let crossings xs ys level =
+  check xs ys "crossings";
+  let n = Array.length xs in
+  let acc = ref [] in
+  for i = 0 to n - 2 do
+    let d0 = ys.(i) -. level and d1 = ys.(i + 1) -. level in
+    if d0 = 0.0 then acc := xs.(i) :: !acc
+    else if d0 *. d1 < 0.0 then begin
+      let t = d0 /. (d0 -. d1) in
+      acc := (xs.(i) +. (t *. (xs.(i + 1) -. xs.(i)))) :: !acc
+    end
+  done;
+  if ys.(n - 1) = level then acc := xs.(n - 1) :: !acc;
+  List.rev !acc

@@ -1,0 +1,109 @@
+type t = float array array
+
+let create n m = Array.make_matrix n m 0.0
+
+let identity n =
+  let a = create n n in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- 1.0
+  done;
+  a
+
+let copy a = Array.map Array.copy a
+
+let dims a = (Array.length a, if Array.length a = 0 then 0 else Array.length a.(0))
+
+let mat_vec a x =
+  let n, m = dims a in
+  if m <> Array.length x then invalid_arg "Matrix.mat_vec: dimension mismatch";
+  Array.init n (fun i ->
+      let row = a.(i) in
+      let s = ref 0.0 in
+      for j = 0 to m - 1 do
+        s := !s +. (row.(j) *. x.(j))
+      done;
+      !s)
+
+let mat_mul a b =
+  let n, k = dims a in
+  let k', m = dims b in
+  if k <> k' then invalid_arg "Matrix.mat_mul: dimension mismatch";
+  let c = create n m in
+  for i = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.(i).(p) in
+      if aip <> 0.0 then
+        for j = 0 to m - 1 do
+          c.(i).(j) <- c.(i).(j) +. (aip *. b.(p).(j))
+        done
+    done
+  done;
+  c
+
+let transpose a =
+  let n, m = dims a in
+  Array.init m (fun j -> Array.init n (fun i -> a.(i).(j)))
+
+exception Singular of int
+
+type lu = { lu : float array array; perm : int array }
+
+(* Doolittle LU with partial pivoting.  Stores L (unit diagonal, below) and U
+   (on and above the diagonal) in one matrix. *)
+let lu_factor a =
+  let n, m = dims a in
+  if n <> m then invalid_arg "Matrix.lu_factor: matrix must be square";
+  let lu = copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let pivot_row = ref k in
+    let pivot_mag = ref (Float.abs lu.(k).(k)) in
+    for i = k + 1 to n - 1 do
+      let m = Float.abs lu.(i).(k) in
+      if m > !pivot_mag then begin
+        pivot_mag := m;
+        pivot_row := i
+      end
+    done;
+    if !pivot_mag < 1e-300 then raise (Singular k);
+    if !pivot_row <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot_row);
+      lu.(!pivot_row) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tp
+    end;
+    let pivot = lu.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let f = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (f *. lu.(k).(j))
+        done
+    done
+  done;
+  { lu; perm }
+
+let lu_solve { lu; perm } b =
+  let n = Array.length lu in
+  if Array.length b <> n then invalid_arg "Matrix.lu_solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. lu.(i).(i)
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b

@@ -1,0 +1,32 @@
+type outcome = { x : Vec.t; iterations : int; residual : float; converged : bool }
+
+let solve ?(tol = 1e-10) ?(max_iter = 100) ?(max_step = infinity) ~f ~jacobian x0 =
+  let n = Array.length x0 in
+  let clip dx =
+    if max_step = infinity then dx
+    else Array.map (fun d -> Float.max (-.max_step) (Float.min max_step d)) dx
+  in
+  let rec iterate x fx iter =
+    let r = Vec.norm_inf fx in
+    if r <= tol then { x; iterations = iter; residual = r; converged = true }
+    else if iter >= max_iter then { x; iterations = iter; residual = r; converged = false }
+    else begin
+      match Matrix.lu_factor (jacobian x) with
+      | exception Matrix.Singular _ ->
+        { x; iterations = iter; residual = r; converged = false }
+      | lu ->
+        let rhs = Array.map (fun v -> -.v) fx in
+        let dx = clip (Matrix.lu_solve lu rhs) in
+        (* Backtracking line search on the residual norm. *)
+        let rec backtrack t attempts =
+          let x' = Array.init n (fun i -> x.(i) +. (t *. dx.(i))) in
+          let fx' = f x' in
+          let r' = Vec.norm_inf fx' in
+          if r' < r || attempts >= 8 then (x', fx')
+          else backtrack (t *. 0.5) (attempts + 1)
+        in
+        let x', fx' = backtrack 1.0 0 in
+        iterate x' fx' (iter + 1)
+    end
+  in
+  iterate (Array.copy x0) (f x0) 0

@@ -1,0 +1,22 @@
+(** Damped Newton iteration for dense nonlinear systems F(x) = 0, used by the
+    circuit simulator's operating-point solver. *)
+
+type outcome = {
+  x : Vec.t;  (** final iterate *)
+  iterations : int;
+  residual : float;  (** infinity norm of F at the final iterate *)
+  converged : bool;
+}
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?max_step:float ->
+  f:(Vec.t -> Vec.t) ->
+  jacobian:(Vec.t -> Matrix.t) ->
+  Vec.t ->
+  outcome
+(** [solve ~f ~jacobian x0] iterates x <- x + t dx with [J dx = -F] and a
+    backtracking line search on |F|; each component of the raw step is also
+    clipped to [max_step] (default [infinity]), which circuit solvers use to
+    keep device voltages from jumping across exponentials. *)

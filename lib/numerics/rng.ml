@@ -1,0 +1,64 @@
+(* xoshiro256starstar (Blackman & Vigna), seeded via splitmix64. *)
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64;
+           mutable spare : float option }
+
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = None }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next r =
+  let open Int64 in
+  let result = mul (rotl (mul r.s1 5L) 7) 9L in
+  let t = shift_left r.s1 17 in
+  r.s2 <- logxor r.s2 r.s0;
+  r.s3 <- logxor r.s3 r.s1;
+  r.s1 <- logxor r.s1 r.s2;
+  r.s0 <- logxor r.s0 r.s3;
+  r.s2 <- logxor r.s2 t;
+  r.s3 <- rotl r.s3 45;
+  result
+
+let float r =
+  (* Top 53 bits -> [0, 1). *)
+  let bits = Int64.shift_right_logical (next r) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform r ~lo ~hi = lo +. ((hi -. lo) *. float r)
+
+let gaussian r =
+  match r.spare with
+  | Some v ->
+    r.spare <- None;
+    v
+  | None ->
+    let rec draw () =
+      let u = float r and v = float r in
+      if u <= 1e-300 then draw ()
+      else begin
+        let radius = sqrt (-2.0 *. log u) in
+        let theta = 2.0 *. Float.pi *. v in
+        r.spare <- Some (radius *. sin theta);
+        radius *. cos theta
+      end
+    in
+    draw ()
+
+let normal r ~mean ~sigma = mean +. (sigma *. gaussian r)
+
+let int r ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next r) 1) (Int64.of_int bound))

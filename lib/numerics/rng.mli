@@ -1,0 +1,20 @@
+(** Small deterministic pseudo-random generator (xoshiro256starstar) for Monte
+    Carlo studies — seedable, reproducible across runs, independent of the
+    global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)
+
+val normal : t -> mean:float -> sigma:float -> float
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound). *)

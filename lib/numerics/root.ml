@@ -1,0 +1,118 @@
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    if fa *. fb > 0.0 then invalid_arg "Root.bisect: no sign change on [a, b]";
+    let rec loop a b fa iter =
+      let m = 0.5 *. (a +. b) in
+      if (b -. a) /. 2.0 < tol || iter >= max_iter then m
+      else
+        let fm = f m in
+        if fm = 0.0 then m
+        else if fa *. fm < 0.0 then loop a m fa (iter + 1)
+        else loop m b fm (iter + 1)
+    in
+    loop (Float.min a b) (Float.max a b) (if a < b then fa else fb) 0
+  end
+
+(* Brent (1973), as in Numerical Recipes zbrent. *)
+let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+  let fa = f a and fb = f b in
+  if fa = 0.0 then a
+  else if fb = 0.0 then b
+  else begin
+    if fa *. fb > 0.0 then invalid_arg "Root.brent: no sign change on [a, b]";
+    let a = ref a and b = ref b and c = ref a and fa = ref fa and fb = ref fb in
+    let fc = ref !fa and d = ref (!b -. !a) and e = ref (!b -. !a) in
+    c := !a;
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < max_iter do
+      incr iter;
+      if Float.abs !fc < Float.abs !fb then begin
+        a := !b;
+        b := !c;
+        c := !a;
+        fa := !fb;
+        fb := !fc;
+        fc := !fa
+      end;
+      let tol1 = (2.0 *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
+      let xm = 0.5 *. (!c -. !b) in
+      if Float.abs xm <= tol1 || !fb = 0.0 then result := Some !b
+      else begin
+        if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
+          let s = !fb /. !fa in
+          let p, q =
+            if !a = !c then
+              let p = 2.0 *. xm *. s in
+              (p, 1.0 -. s)
+            else begin
+              let q = !fa /. !fc and r = !fb /. !fc in
+              let p = s *. ((2.0 *. xm *. q *. (q -. r)) -. ((!b -. !a) *. (r -. 1.0))) in
+              (p, (q -. 1.0) *. (r -. 1.0) *. (s -. 1.0))
+            end
+          in
+          let p, q = if p > 0.0 then (p, -.q) else (-.p, q) in
+          let min1 = (3.0 *. xm *. q) -. Float.abs (tol1 *. q) in
+          let min2 = Float.abs (!e *. q) in
+          if 2.0 *. p < Float.min min1 min2 then begin
+            e := !d;
+            d := p /. q
+          end
+          else begin
+            d := xm;
+            e := xm
+          end
+        end
+        else begin
+          d := xm;
+          e := xm
+        end;
+        a := !b;
+        fa := !fb;
+        if Float.abs !d > tol1 then b := !b +. !d
+        else b := !b +. (if xm >= 0.0 then tol1 else -.tol1);
+        fb := f !b;
+        if !fb *. !fc > 0.0 then begin
+          c := !a;
+          fc := !fa;
+          d := !b -. !a;
+          e := !d
+        end
+      end
+    done;
+    match !result with Some r -> r | None -> !b
+  end
+
+let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+  let rec loop x iter =
+    if iter >= max_iter then failwith "Root.newton: no convergence";
+    let fx = f x in
+    let dfx = df x in
+    if Float.abs dfx < 1e-300 then failwith "Root.newton: zero derivative";
+    let x' = x -. (fx /. dfx) in
+    if Float.abs (x' -. x) < tol *. (1.0 +. Float.abs x') then x' else loop x' (iter + 1)
+  in
+  loop x0 0
+
+let find_bracket ?(grow = 1.6) ?(max_iter = 60) f a b =
+  let a = ref (Float.min a b) and b = ref (Float.max a b) in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  let rec loop iter =
+    if !fa *. !fb < 0.0 then Some (!a, !b)
+    else if iter >= max_iter then None
+    else begin
+      if Float.abs !fa < Float.abs !fb then begin
+        a := !a -. (grow *. (!b -. !a));
+        fa := f !a
+      end
+      else begin
+        b := !b +. (grow *. (!b -. !a));
+        fb := f !b
+      end;
+      loop (iter + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,20 @@
+(** Scalar root finding. *)
+
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f a b] finds a root of [f] in [[a, b]].  Requires a sign change
+    ([Invalid_argument] otherwise).  [tol] is the interval-width target
+    (default 1e-12). *)
+
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** Brent's method: bisection safety with inverse-quadratic speed.  Same
+    contract as {!bisect}. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) -> float -> float
+(** [newton ~f ~df x0] runs Newton iteration from [x0].  Raises [Failure] if
+    it fails to converge or hits a zero derivative. *)
+
+val find_bracket :
+  ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float -> (float * float) option
+(** [find_bracket f a b] expands the interval geometrically outward until
+    [f] changes sign, returning the bracket if found. *)

@@ -1,0 +1,114 @@
+type t = { n : int; row_ptr : int array; col_idx : int array; values : float array }
+
+let of_triplets ~n triplets =
+  let sorted =
+    List.sort
+      (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+      triplets
+  in
+  (* Merge duplicates. *)
+  let merged =
+    List.fold_left
+      (fun acc (i, j, v) ->
+        if i < 0 || i >= n || j < 0 || j >= n then
+          invalid_arg (Printf.sprintf "Sparse.of_triplets: (%d, %d) out of range" i j);
+        match acc with
+        | (i', j', v') :: rest when i' = i && j' = j -> (i, j, v +. v') :: rest
+        | _ -> (i, j, v) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let nnz = List.length merged in
+  let row_ptr = Array.make (n + 1) 0 in
+  let col_idx = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  List.iteri
+    (fun k (i, j, v) ->
+      row_ptr.(i + 1) <- row_ptr.(i + 1) + 1;
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    merged;
+  for i = 1 to n do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  { n; row_ptr; col_idx; values }
+
+let order a = a.n
+let nnz a = Array.length a.values
+
+let mat_vec a x =
+  if Array.length x <> a.n then invalid_arg "Sparse.mat_vec: dimension mismatch";
+  let y = Array.make a.n 0.0 in
+  for i = 0 to a.n - 1 do
+    let s = ref 0.0 in
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      s := !s +. (a.values.(k) *. x.(a.col_idx.(k)))
+    done;
+    y.(i) <- !s
+  done;
+  y
+
+let diagonal a =
+  let d = Array.make a.n 0.0 in
+  for i = 0 to a.n - 1 do
+    for k = a.row_ptr.(i) to a.row_ptr.(i + 1) - 1 do
+      if a.col_idx.(k) = i then d.(i) <- a.values.(k)
+    done
+  done;
+  d
+
+type result = { x : Vec.t; iterations : int; residual : float; converged : bool }
+
+(* Jacobi-preconditioned BiCGSTAB (van der Vorst). *)
+let bicgstab ?(tol = 1e-10) ?(max_iter = 2000) ?x0 a b =
+  let n = a.n in
+  if Array.length b <> n then invalid_arg "Sparse.bicgstab: dimension mismatch";
+  let inv_diag =
+    Array.map (fun d -> if Float.abs d > 1e-300 then 1.0 /. d else 1.0) (diagonal a)
+  in
+  let precond v = Array.mapi (fun i vi -> vi *. inv_diag.(i)) v in
+  let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  let r = Vec.sub b (mat_vec a x) in
+  let r_hat = Vec.copy r in
+  let bnorm = Float.max (Vec.norm2 b) 1e-300 in
+  let rho = ref 1.0 and alpha = ref 1.0 and omega = ref 1.0 in
+  let v = Array.make n 0.0 and p = Array.make n 0.0 in
+  let rec loop iter =
+    let rnorm = Vec.norm2 r in
+    if rnorm /. bnorm <= tol then { x; iterations = iter; residual = rnorm /. bnorm; converged = true }
+    else if iter >= max_iter then
+      { x; iterations = iter; residual = rnorm /. bnorm; converged = false }
+    else begin
+      let rho_new = Vec.dot r_hat r in
+      if Float.abs rho_new < 1e-300 then
+        { x; iterations = iter; residual = rnorm /. bnorm; converged = false }
+      else begin
+        let beta = rho_new /. !rho *. (!alpha /. !omega) in
+        for i = 0 to n - 1 do
+          p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
+        done;
+        let p_hat = precond p in
+        let v' = mat_vec a p_hat in
+        Array.blit v' 0 v 0 n;
+        alpha := rho_new /. Vec.dot r_hat v;
+        let s = Array.init n (fun i -> r.(i) -. (!alpha *. v.(i))) in
+        if Vec.norm2 s /. bnorm <= tol then begin
+          Vec.axpy !alpha p_hat x;
+          { x; iterations = iter + 1; residual = Vec.norm2 s /. bnorm; converged = true }
+        end
+        else begin
+          let s_hat = precond s in
+          let t = mat_vec a s_hat in
+          let tt = Vec.dot t t in
+          omega := if tt > 1e-300 then Vec.dot t s /. tt else 0.0;
+          for i = 0 to n - 1 do
+            x.(i) <- x.(i) +. (!alpha *. p_hat.(i)) +. (!omega *. s_hat.(i));
+            r.(i) <- s.(i) -. (!omega *. t.(i))
+          done;
+          rho := rho_new;
+          loop (iter + 1)
+        end
+      end
+    end
+  in
+  loop 0

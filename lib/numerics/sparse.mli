@@ -1,0 +1,24 @@
+(** Sparse matrices in compressed-sparse-row form, assembled from (i, j, v)
+    triplets, with a preconditioned BiCGSTAB iterative solver.  Used as an
+    alternative back end for large TCAD meshes where the band is wide. *)
+
+type t
+
+val of_triplets : n:int -> (int * int * float) list -> t
+(** Build an [n] x [n] CSR matrix; duplicate (i, j) entries are summed. *)
+
+val order : t -> int
+
+val nnz : t -> int
+
+val mat_vec : t -> Vec.t -> Vec.t
+
+val diagonal : t -> Vec.t
+(** The matrix diagonal (zeros where absent). *)
+
+type result = { x : Vec.t; iterations : int; residual : float; converged : bool }
+
+val bicgstab :
+  ?tol:float -> ?max_iter:int -> ?x0:Vec.t -> t -> Vec.t -> result
+(** [bicgstab a b] solves [A x = b] with Jacobi (diagonal) preconditioning.
+    [tol] is the relative residual target (default 1e-10). *)

@@ -1,0 +1,22 @@
+let solve ~lower ~diag ~upper ~rhs =
+  let n = Array.length diag in
+  if Array.length lower <> n || Array.length upper <> n || Array.length rhs <> n then
+    invalid_arg "Tridiag.solve: length mismatch";
+  let c' = Array.make n 0.0 in
+  let d' = Array.make n 0.0 in
+  if Float.abs diag.(0) < 1e-300 then failwith "Tridiag.solve: zero pivot at row 0";
+  c'.(0) <- upper.(0) /. diag.(0);
+  d'.(0) <- rhs.(0) /. diag.(0);
+  for i = 1 to n - 1 do
+    let denom = diag.(i) -. (lower.(i) *. c'.(i - 1)) in
+    if Float.abs denom < 1e-300 then
+      failwith (Printf.sprintf "Tridiag.solve: zero pivot at row %d" i);
+    c'.(i) <- upper.(i) /. denom;
+    d'.(i) <- (rhs.(i) -. (lower.(i) *. d'.(i - 1))) /. denom
+  done;
+  let x = Array.make n 0.0 in
+  x.(n - 1) <- d'.(n - 1);
+  for i = n - 2 downto 0 do
+    x.(i) <- d'.(i) -. (c'.(i) *. x.(i + 1))
+  done;
+  x

@@ -1,0 +1,8 @@
+(** Tridiagonal systems via the Thomas algorithm (no pivoting; intended for
+    diagonally dominant systems such as 1-D Poisson discretizations). *)
+
+val solve : lower:Vec.t -> diag:Vec.t -> upper:Vec.t -> rhs:Vec.t -> Vec.t
+(** [solve ~lower ~diag ~upper ~rhs] solves the [n] x [n] tridiagonal system.
+    [lower] and [upper] have length [n] with [lower.(0)] and [upper.(n-1)]
+    ignored.  Raises [Invalid_argument] on length mismatch and [Failure] on a
+    zero pivot. *)

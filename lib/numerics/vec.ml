@@ -1,0 +1,59 @@
+type t = float array
+
+let create n x = Array.make n x
+let init = Array.init
+let copy = Array.copy
+
+let check_same_length name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg (Printf.sprintf "Vec.%s: length mismatch (%d vs %d)" name (Array.length x) (Array.length y))
+
+let linspace a b n =
+  if n < 2 then invalid_arg "Vec.linspace: need at least 2 points";
+  let h = (b -. a) /. float_of_int (n - 1) in
+  Array.init n (fun i -> a +. (h *. float_of_int i))
+
+let logspace a b n =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Vec.logspace: endpoints must be positive";
+  Array.map exp (linspace (log a) (log b) n)
+
+let dot x y =
+  check_same_length "dot" x y;
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+
+let axpy a x y =
+  check_same_length "axpy" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let scale a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- a *. x.(i)
+  done
+
+let add x y =
+  check_same_length "add" x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_length "sub" x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let map = Array.map
+
+let max_abs_diff x y =
+  check_same_length "max_abs_diff" x y;
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  done;
+  !m

@@ -1,0 +1,44 @@
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ?(notes = []) rows =
+  let width = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> width then
+        invalid_arg
+          (Printf.sprintf "Table.make: row %d has %d cells, expected %d" i
+             (List.length row) width))
+    rows;
+  { title; headers; rows; notes }
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make (Int.max ncols 1) 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell)) row)
+    (t.headers :: t.rows);
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row)
+  in
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule = String.make (Int.max total (String.length t.title)) '-' in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    ([ t.title; rule; render_row t.headers; rule ]
+     @ List.map render_row t.rows
+     @ List.map (fun note -> "  note: " ^ note) t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt = Printf.sprintf

@@ -1,0 +1,21 @@
+(** Column-aligned ASCII tables for experiment output. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : title:string -> headers:string list -> ?notes:string list ->
+  string list list -> t
+(** Raises [Invalid_argument] if any row's width differs from the header's. *)
+
+val render : t -> string
+(** Multi-line rendering with a title rule, aligned columns and trailing
+    notes. *)
+
+val print : t -> unit
+
+val fmt : ('a, unit, string) format -> 'a
+(** Alias of [Printf.sprintf] for terse cell construction. *)

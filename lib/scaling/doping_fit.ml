@@ -1,0 +1,38 @@
+let cm3 = Physics.Constants.per_cm3
+
+let solve_doping ~ioff_of ~target ~lo ~hi ~what =
+  let f log_n = log (ioff_of (10.0 ** log_n) /. target) in
+  let flo = f (log10 lo) and fhi = f (log10 hi) in
+  if flo < 0.0 then lo
+  else if fhi > 0.0 then
+    failwith (Printf.sprintf "Doping_fit: leakage budget unreachable when selecting %s" what)
+  else 10.0 ** Numerics.Root.brent ~tol:1e-10 f (log10 lo) (log10 hi)
+
+let solve_for_ioff ?(cal = Device.Params.default_calibration) ~(base : Device.Params.physical)
+    ~ioff_vdd ~target () =
+  (* The long-channel reference keeps the node's junction geometry (drawn
+     length changes, process does not). *)
+  let probe = Device.Compact.nfet ~cal base in
+  let geom_xj = Some probe.Device.Compact.xj in
+  let geom_ov = Some probe.Device.Compact.overlap in
+  let ioff_long nsub =
+    let phys =
+      { base with Device.Params.nsub; np_halo = 0.0;
+        lpoly = 4.0 *. base.Device.Params.lpoly; xj = geom_xj; overlap = geom_ov }
+    in
+    Device.Iv_model.ioff (Device.Compact.nfet ~cal phys) ~vdd:ioff_vdd
+  in
+  let nsub =
+    solve_doping ~ioff_of:ioff_long ~target ~lo:(cm3 5e16) ~hi:(cm3 3e19) ~what:"N_sub"
+  in
+  let ioff_short np_halo =
+    let phys = { base with Device.Params.nsub; np_halo } in
+    Device.Iv_model.ioff (Device.Compact.nfet ~cal phys) ~vdd:ioff_vdd
+  in
+  let np_halo =
+    if ioff_short 0.0 <= target then 0.0
+    else
+      solve_doping ~ioff_of:ioff_short ~target ~lo:(cm3 1e15) ~hi:(cm3 6e19)
+        ~what:"N_p,halo"
+  in
+  { base with Device.Params.nsub; np_halo }

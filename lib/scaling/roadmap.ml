@@ -1,0 +1,47 @@
+type node = { nm : int; lpoly : float; tox : float; vdd : float; ileak_max : float }
+
+let nm_ = Physics.Constants.nm
+let pa = Physics.Constants.pa_per_um
+
+let nodes =
+  [
+    { nm = 90; lpoly = nm_ 65.0; tox = nm_ 2.10; vdd = 1.2; ileak_max = pa 100.0 };
+    { nm = 65; lpoly = nm_ 46.0; tox = nm_ 1.89; vdd = 1.1; ileak_max = pa 125.0 };
+    { nm = 45; lpoly = nm_ 32.0; tox = nm_ 1.70; vdd = 1.0; ileak_max = pa 156.0 };
+    { nm = 32; lpoly = nm_ 22.0; tox = nm_ 1.53; vdd = 0.9; ileak_max = pa 195.0 };
+  ]
+
+let nodes_with_130 =
+  { nm = 130; lpoly = nm_ 93.0; tox = nm_ 2.33; vdd = 1.3; ileak_max = pa 80.0 } :: nodes
+
+let find label =
+  match List.find_opt (fun n -> n.nm = label) nodes_with_130 with
+  | Some n -> n
+  | None -> raise Not_found
+
+let sub_vth_ioff_target = pa 100.0
+
+(* Continue the paper's trends beyond its last node: Lpoly -30%/gen,
+   Tox -10%/gen, Vdd -0.1 V/gen (floored at 0.6 V), leakage +25%/gen.
+   Labels follow the ITRS cadence (22, 16, 11 nm ...). *)
+let project ~generations =
+  if generations < 0 then invalid_arg "Roadmap.project: negative generations";
+  let labels = [| 22; 16; 11; 8 |] in
+  let rec extend acc last i =
+    if i >= generations then List.rev acc
+    else begin
+      let nm = if i < Array.length labels then labels.(i) else last.nm * 7 / 10 in
+      let next =
+        {
+          nm;
+          lpoly = 0.7 *. last.lpoly;
+          tox = 0.9 *. last.tox;
+          vdd = Float.max 0.6 (last.vdd -. 0.1);
+          ileak_max = 1.25 *. last.ileak_max;
+        }
+      in
+      extend (next :: acc) next (i + 1)
+    end
+  in
+  let base = List.nth nodes (List.length nodes - 1) in
+  extend [] base 0

@@ -1,0 +1,36 @@
+(** The paper's actual (non-ideal) scaling assumptions, Sec. 2.2:
+
+    - L_poly shrinks 30 % per generation from 65 nm at the 90 nm node;
+    - T_ox shrinks only 10 % per generation from 2.10 nm (the slow oxide
+      scaling that drives the whole story);
+    - V_dd steps 1.2 / 1.1 / 1.0 / 0.9 V;
+    - the leakage budget starts at 100 pA/um and grows 25 % per generation.
+
+    The 130 nm entry back-extrapolates one generation for Fig. 12's V_min
+    observation. *)
+
+type node = {
+  nm : int;  (** node label *)
+  lpoly : float;  (** [m] *)
+  tox : float;  (** [m] *)
+  vdd : float;  (** nominal supply [V] *)
+  ileak_max : float;  (** leakage budget [A/m] *)
+}
+
+val nodes : node list
+(** 90, 65, 45, 32 nm — the paper's Table 2 generations, in order. *)
+
+val nodes_with_130 : node list
+(** 130 nm prepended (used only by the Fig. 12 V_min trace). *)
+
+val find : int -> node
+(** Lookup by label; raises [Not_found]. *)
+
+val sub_vth_ioff_target : float
+(** The sub-V_th strategy's constant I_off: 100 pA/um [A/m] (Sec. 3.2). *)
+
+val project : generations:int -> node list
+(** Continue the paper's scaling trends past 32 nm (22, 16, 11, 8 nm ...):
+    L_poly -30 %/gen, T_ox -10 %/gen, V_dd -0.1 V/gen floored at 0.6 V,
+    leakage budget +25 %/gen — the "what if nothing changes" projection the
+    conclusion's warning implies. *)

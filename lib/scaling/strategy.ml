@@ -1,0 +1,66 @@
+type kind = Super_vth | Sub_vth
+
+let kind_name = function Super_vth -> "super-Vth" | Sub_vth -> "sub-Vth"
+
+type evaluation = {
+  kind : kind;
+  node : Roadmap.node;
+  phys : Device.Params.physical;
+  pair : Circuits.Inverter.pair;
+  ss : float;
+  vth_sat : float;
+  ioff_nominal : float;
+  ion_sub : float;
+  on_off_sub : float;
+  snm_sub : float;
+  delay_sub : float;
+  energy_factor : float;
+  delay_factor : float;
+  vmin : float;
+  energy_at_vmin : float;
+}
+
+let sub_vdd = 0.25
+
+let evaluate kind node phys pair =
+  let sizing = Circuits.Inverter.balanced_sizing () in
+  let nfet = pair.Circuits.Inverter.nfet in
+  (* The SPICE engine's VTC carries the DIBL-driven output-conductance loss
+     that dominates the SNM scaling trend; the analytic Eq. 3 route treats
+     V_th as bias-independent and misses most of it. *)
+  let snm =
+    match Analysis.Snm.inverter ~engine:`Spice pair ~sizing ~vdd:sub_vdd with
+    | margins -> margins.Analysis.Snm.snm
+    | exception Failure _ -> 0.0
+  in
+  let vmin_result = Analysis.Energy.vmin ~sizing pair in
+  {
+    kind;
+    node;
+    phys;
+    pair;
+    ss = nfet.Device.Compact.ss;
+    vth_sat = Device.Iv_model.threshold_const_current nfet ~vds:node.Roadmap.vdd;
+    ioff_nominal = Device.Iv_model.ioff nfet ~vdd:node.Roadmap.vdd;
+    ion_sub = Device.Iv_model.ion nfet ~vdd:sub_vdd;
+    on_off_sub = Device.Iv_model.on_off_ratio nfet ~vdd:sub_vdd;
+    snm_sub = snm;
+    delay_sub = Analysis.Delay.eq5 pair ~sizing ~vdd:sub_vdd;
+    energy_factor = Analysis.Metrics.energy_factor pair ~sizing;
+    delay_factor = Analysis.Metrics.delay_factor ~ioff_vdd:sub_vdd pair ~sizing;
+    vmin = vmin_result.Analysis.Energy.vmin;
+    energy_at_vmin = vmin_result.Analysis.Energy.e_min;
+  }
+
+let super_vth_trajectory ?cal ?(with_130 = false) () =
+  let selections = if with_130 then Super_vth.all_with_130 ?cal () else Super_vth.all ?cal () in
+  List.map
+    (fun s ->
+      evaluate Super_vth s.Super_vth.node s.Super_vth.phys s.Super_vth.pair)
+    selections
+
+let sub_vth_trajectory ?cal ?(with_130 = false) () =
+  let selections = if with_130 then Sub_vth.all_with_130 ?cal () else Sub_vth.all ?cal () in
+  List.map
+    (fun s -> evaluate Sub_vth s.Sub_vth.node s.Sub_vth.phys s.Sub_vth.pair)
+    selections

@@ -1,0 +1,33 @@
+(** Side-by-side evaluation of the two scaling strategies — the common
+    record every Sec. 3.3 comparison figure (Figs. 9-12) reads from. *)
+
+type kind = Super_vth | Sub_vth
+
+val kind_name : kind -> string
+
+type evaluation = {
+  kind : kind;
+  node : Roadmap.node;
+  phys : Device.Params.physical;
+  pair : Circuits.Inverter.pair;
+  ss : float;  (** [V/dec] *)
+  vth_sat : float;  (** const-current V_th at nominal V_dd [V] *)
+  ioff_nominal : float;  (** [A/m] at V_ds = nominal V_dd *)
+  ion_sub : float;  (** [A/m] at V_gs = V_ds = 250 mV *)
+  on_off_sub : float;  (** I_on/I_off at 250 mV *)
+  snm_sub : float;  (** inverter SNM at 250 mV [V] *)
+  delay_sub : float;  (** analytic FO1 delay at 250 mV [s] *)
+  energy_factor : float;  (** C_L S_S^2 *)
+  delay_factor : float;  (** C_L S_S / I_off *)
+  vmin : float;  (** energy-optimal supply [V] *)
+  energy_at_vmin : float;  (** chain energy per cycle at V_min [J] *)
+}
+
+val evaluate :
+  kind -> Roadmap.node -> Device.Params.physical -> Circuits.Inverter.pair -> evaluation
+
+val super_vth_trajectory : ?cal:Device.Params.calibration -> ?with_130:bool -> unit ->
+  evaluation list
+
+val sub_vth_trajectory : ?cal:Device.Params.calibration -> ?with_130:bool -> unit ->
+  evaluation list

@@ -1,0 +1,47 @@
+exception No_convergence of string
+
+(* One damped Newton run at a fixed source scale.  Returns None on failure
+   rather than raising, so the homotopy driver can retreat. *)
+let newton sys ~overrides ~source_scale ~tol ~max_iter x0 =
+  let n = Mna.size sys in
+  let x = Array.copy x0 in
+  let clamp = 0.3 in
+  let rec loop iter =
+    if iter >= max_iter then None
+    else begin
+      let f, jac = Mna.assemble sys ~time:0.0 ~source_scale ~overrides ~x () in
+      match Numerics.Matrix.lu_factor jac with
+      | exception Numerics.Matrix.Singular _ -> None
+      | lu ->
+        let dx = Numerics.Matrix.lu_solve lu (Array.map (fun v -> -.v) f) in
+        let maxd = Numerics.Vec.norm_inf dx in
+        let scale = if maxd > clamp then clamp /. maxd else 1.0 in
+        for i = 0 to n - 1 do
+          x.(i) <- x.(i) +. (scale *. dx.(i))
+        done;
+        if maxd *. scale < tol && scale = 1.0 then Some x else loop (iter + 1)
+    end
+  in
+  loop 0
+
+let solve ?x0 ?(overrides = []) ?(tol = 1e-9) ?(max_iter = 120) sys =
+  let n = Mna.size sys in
+  let start = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  match newton sys ~overrides ~source_scale:1.0 ~tol ~max_iter start with
+  | Some x -> x
+  | None ->
+    (* Source stepping: ramp all sources from zero. *)
+    let steps = 20 in
+    let x = ref (Array.make n 0.0) in
+    (try
+       for i = 1 to steps do
+         let scale = float_of_int i /. float_of_int steps in
+         match newton sys ~overrides ~source_scale:scale ~tol ~max_iter !x with
+         | Some sol -> x := sol
+         | None ->
+           raise
+             (No_convergence
+                (Printf.sprintf "source stepping failed at scale %.2f" scale))
+       done
+     with No_convergence _ as e -> raise e);
+    !x

@@ -1,0 +1,16 @@
+(** DC operating point: damped Newton on the MNA system, with source-stepping
+    homotopy as a fallback when the direct solve fails to converge (the
+    standard SPICE strategy). *)
+
+exception No_convergence of string
+
+val solve :
+  ?x0:Numerics.Vec.t ->
+  ?overrides:(string * float) list ->
+  ?tol:float ->
+  ?max_iter:int ->
+  Mna.system ->
+  Numerics.Vec.t
+(** Operating point at [time = 0].  [tol] (default 1e-9) bounds the final
+    Newton update's infinity norm in volts.  Raises {!No_convergence} if both
+    the direct solve and 20-step source stepping fail. *)

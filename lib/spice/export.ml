@@ -1,0 +1,122 @@
+let waveform = function
+  | Netlist.Dc v -> Printf.sprintf "DC %.6g" v
+  | Netlist.Pulse { low; high; delay; rise; fall; width; period } ->
+    Printf.sprintf "PULSE(%.6g %.6g %.6g %.6g %.6g %.6g %.6g)" low high delay rise fall
+      width period
+  | Netlist.Pwl points ->
+    Printf.sprintf "PWL(%s)"
+      (String.concat " " (List.map (fun (t, v) -> Printf.sprintf "%.6g %.6g" t v) points))
+
+(* Level-1 parameters from a compact device. *)
+let model_card name (dev : Device.Compact.t) =
+  let mtype =
+    match dev.Device.Compact.polarity with
+    | Device.Params.Nfet -> "NMOS"
+    | Device.Params.Pfet -> "PMOS"
+  in
+  let vto =
+    let v = Device.Compact.vth dev ~vds:0.05 in
+    match dev.Device.Compact.polarity with Device.Params.Nfet -> v | Device.Params.Pfet -> -.v
+  in
+  let kp = dev.Device.Compact.mu *. dev.Device.Compact.cox in
+  let gamma =
+    sqrt (2.0 *. Physics.Constants.q *. Physics.Constants.eps_si *. dev.Device.Compact.neff)
+    /. dev.Device.Compact.cox
+  in
+  let phi = 2.0 *. dev.Device.Compact.phi_f in
+  Printf.sprintf
+    "* compact: SS=%.1f mV/dec, Leff=%.1f nm, Neff=%.2e cm^-3\n\
+     .model %s %s (LEVEL=1 VTO=%.4g KP=%.4g GAMMA=%.4g PHI=%.4g LAMBDA=0.05 TOX=%.3g)"
+    (1000.0 *. dev.Device.Compact.ss)
+    (Physics.Constants.to_nm dev.Device.Compact.leff)
+    (Physics.Constants.to_per_cm3 dev.Device.Compact.neff)
+    name mtype vto kp gamma phi dev.Device.Compact.phys.Device.Params.tox
+
+let deck ?(title = "subscale export") circuit =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("* " ^ title ^ "\n");
+  (* Collect distinct devices (by physical parameters and polarity). *)
+  let models = Hashtbl.create 8 in
+  let model_name (dev : Device.Compact.t) =
+    let key =
+      (dev.Device.Compact.phys, dev.Device.Compact.polarity, dev.Device.Compact.cal)
+    in
+    match Hashtbl.find_opt models key with
+    | Some name -> name
+    | None ->
+      let prefix =
+        match dev.Device.Compact.polarity with
+        | Device.Params.Nfet -> "nfet"
+        | Device.Params.Pfet -> "pfet"
+      in
+      let name = Printf.sprintf "%s_%dnm_%d" prefix dev.Device.Compact.phys.Device.Params.node_nm
+          (Hashtbl.length models) in
+      Hashtbl.add models key name;
+      name
+  in
+  let node n = if n = 0 then "0" else Netlist.node_name circuit n in
+  let lines = ref [] in
+  let counters = Hashtbl.create 8 in
+  let fresh prefix =
+    let k = Option.value (Hashtbl.find_opt counters prefix) ~default:0 in
+    Hashtbl.replace counters prefix (k + 1);
+    Printf.sprintf "%s%d" prefix (k + 1)
+  in
+  List.iter
+    (fun element ->
+      let line =
+        match element with
+        | Netlist.Resistor { plus; minus; ohms } ->
+          Printf.sprintf "%s %s %s %.6g" (fresh "R") (node plus) (node minus) ohms
+        | Netlist.Capacitor { plus; minus; farads } ->
+          Printf.sprintf "%s %s %s %.6g" (fresh "C") (node plus) (node minus) farads
+        | Netlist.Voltage_source { name; plus; minus; wave } ->
+          let vname =
+            if String.length name > 0 && (name.[0] = 'V' || name.[0] = 'v') then name
+            else "V" ^ name
+          in
+          Printf.sprintf "%s %s %s %s" vname (node plus) (node minus) (waveform wave)
+        | Netlist.Current_source { plus; minus; amps } ->
+          Printf.sprintf "%s %s %s DC %.6g" (fresh "I") (node plus) (node minus) amps
+        | Netlist.Nmos { dev; width; drain; gate; source } ->
+          Printf.sprintf "%s %s %s %s %s %s W=%.4g L=%.4g" (fresh "MN") (node drain)
+            (node gate) (node source) (node source) (model_name dev) width
+            dev.Device.Compact.phys.Device.Params.lpoly
+        | Netlist.Pmos { dev; width; drain; gate; source } ->
+          Printf.sprintf "%s %s %s %s %s %s W=%.4g L=%.4g" (fresh "MP") (node drain)
+            (node gate) (node source) (node source) (model_name dev) width
+            dev.Device.Compact.phys.Device.Params.lpoly
+      in
+      lines := line :: !lines)
+    (Netlist.elements circuit);
+  (* Model cards first (collected during the element walk). *)
+  let model_lines =
+    Hashtbl.fold
+      (fun key name acc ->
+        let phys, polarity, cal = key in
+        let dev =
+          match polarity with
+          | Device.Params.Nfet -> Device.Compact.nfet ~cal phys
+          | Device.Params.Pfet -> Device.Compact.pfet ~cal phys
+        in
+        model_card name dev :: acc)
+      models []
+  in
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    model_lines;
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    (List.rev !lines);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write ~path ?title circuit =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (deck ?title circuit))

@@ -1,0 +1,16 @@
+(** Export a netlist as a standard SPICE deck (ngspice-compatible syntax).
+
+    MOSFETs are emitted against level-1 model cards derived from each
+    distinct compact device (VTO, KP, GAMMA, PHI, TOX, LAMBDA) — a
+    deliberately simple mapping that reproduces the operating point within
+    level-1 accuracy and gives external simulators something runnable,
+    while comment lines record the exact compact parameters for tools that
+    can do better. *)
+
+val waveform : Netlist.waveform -> string
+(** SPICE source syntax for a waveform (DC x / PULSE(...) / PWL(...)). *)
+
+val deck : ?title:string -> Netlist.t -> string
+(** Flat deck: title, model cards, elements, [.end]. *)
+
+val write : path:string -> ?title:string -> Netlist.t -> unit

@@ -1,0 +1,107 @@
+let cell_function = function
+  | Cell_lib.Inv -> "!A"
+  | Cell_lib.Nand2 -> "!(A & B)"
+  | Cell_lib.Nor2 -> "!(A | B)"
+
+let pin_name = function 0 -> "A" | 1 -> "B" | n -> Printf.sprintf "I%d" n
+
+let ns t = t *. 1e9
+let pf c = c *. 1e12
+
+let render_values buf lut =
+  let slews = Lut.slews lut and loads = Lut.loads lut in
+  let axis v = String.concat ", " (Array.to_list (Array.map (fun x -> Printf.sprintf "%.6g" (ns x)) v)) in
+  Buffer.add_string buf (Printf.sprintf "          index_1 (\"%s\");\n" (axis slews));
+  Buffer.add_string buf
+    (Printf.sprintf "          index_2 (\"%s\");\n"
+       (String.concat ", "
+          (Array.to_list (Array.map (fun x -> Printf.sprintf "%.6g" (pf x)) loads))));
+  Buffer.add_string buf "          values ( \\\n";
+  let n = Array.length slews in
+  Array.iteri
+    (fun i slew ->
+      let row =
+        String.concat ", "
+          (Array.to_list
+             (Array.map (fun load -> Printf.sprintf "%.6g" (ns (Lut.eval lut ~slew ~load))) loads))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "            \"%s\"%s \\\n" row (if i = n - 1 then "" else ",")))
+    (Array.init n (fun i -> slews.(i)));
+  Buffer.add_string buf "          );\n"
+
+let render_table buf kind lut =
+  Buffer.add_string buf (Printf.sprintf "        %s (nldm_3x3) {\n" kind);
+  render_values buf lut;
+  Buffer.add_string buf "        }\n"
+
+let state_when cell state =
+  String.concat " & "
+    (List.mapi
+       (fun i b -> if b then pin_name i else "!" ^ pin_name i)
+       (Array.to_list state))
+  |> fun s -> ignore cell; s
+
+let render_cell buf (kind, (cell : Cell_lib.cell)) =
+  Buffer.add_string buf (Printf.sprintf "  cell (%s) {\n" (Cell_lib.cell_name kind));
+  (* Leakage per input state (nW). *)
+  List.iter
+    (fun (state, amps) ->
+      Buffer.add_string buf "    leakage_power () {\n";
+      Buffer.add_string buf (Printf.sprintf "      when : \"%s\";\n" (state_when cell state));
+      Buffer.add_string buf
+        (Printf.sprintf "      value : %.6g;\n" (amps *. cell.Cell_lib.vdd *. 1e9));
+      Buffer.add_string buf "    }\n")
+    cell.Cell_lib.leakage;
+  (* Input pins. *)
+  Array.iteri
+    (fun i _ ->
+      Buffer.add_string buf (Printf.sprintf "    pin (%s) {\n" (pin_name i));
+      Buffer.add_string buf "      direction : input;\n";
+      Buffer.add_string buf
+        (Printf.sprintf "      capacitance : %.6g;\n" (pf cell.Cell_lib.input_cap));
+      Buffer.add_string buf "    }\n")
+    cell.Cell_lib.arcs;
+  (* Output pin with one timing group per arc. *)
+  Buffer.add_string buf "    pin (Y) {\n";
+  Buffer.add_string buf "      direction : output;\n";
+  Buffer.add_string buf (Printf.sprintf "      function : \"%s\";\n" (cell_function kind));
+  Array.iter
+    (fun (arc : Cell_lib.arc) ->
+      Buffer.add_string buf "      timing () {\n";
+      Buffer.add_string buf
+        (Printf.sprintf "        related_pin : \"%s\";\n" (pin_name arc.Cell_lib.pin));
+      Buffer.add_string buf "        timing_sense : negative_unate;\n";
+      render_table buf "cell_rise" arc.Cell_lib.delay_output_rise;
+      render_table buf "rise_transition" arc.Cell_lib.slew_output_rise;
+      render_table buf "cell_fall" arc.Cell_lib.delay_output_fall;
+      render_table buf "fall_transition" arc.Cell_lib.slew_output_fall;
+      Buffer.add_string buf "      }\n")
+    cell.Cell_lib.arcs;
+  Buffer.add_string buf "    }\n";
+  Buffer.add_string buf "  }\n"
+
+let to_string ?(name = "subscale") (lib : Cell_lib.library) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf (Printf.sprintf "library (%s) {\n" name);
+  Buffer.add_string buf "  delay_model : table_lookup;\n";
+  Buffer.add_string buf "  time_unit : \"1ns\";\n";
+  Buffer.add_string buf "  voltage_unit : \"1V\";\n";
+  Buffer.add_string buf "  current_unit : \"1uA\";\n";
+  Buffer.add_string buf "  capacitive_load_unit (1, pf);\n";
+  Buffer.add_string buf "  leakage_power_unit : \"1nW\";\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  nom_voltage : %.3f;\n" lib.Cell_lib.lib_vdd);
+  Buffer.add_string buf "  lu_table_template (nldm_3x3) {\n";
+  Buffer.add_string buf "    variable_1 : input_net_transition;\n";
+  Buffer.add_string buf "    variable_2 : total_output_net_capacitance;\n";
+  Buffer.add_string buf "  }\n";
+  List.iter (render_cell buf) lib.Cell_lib.cells;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write ~path ?name lib =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name lib))

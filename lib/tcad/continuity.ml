@@ -1,0 +1,140 @@
+type carrier = Electrons | Holes
+
+type srh = { tau_n : float; tau_p : float }
+
+let default_srh = { tau_n = 1e-7; tau_p = 1e-7 }
+
+type solution = {
+  u : Numerics.Vec.t;
+  density : Numerics.Vec.t;
+  quasi_fermi : Numerics.Vec.t;
+}
+
+let q = Physics.Constants.q
+
+let safe_exp a = exp (Float.max (-200.0) (Float.min 200.0 a))
+
+(* Exact average of e^{s psi/vt} over an edge with linearly varying psi,
+   s = +1 for electrons, -1 for holes. *)
+let exp_average ~sign vt psi_i psi_j =
+  let a = sign *. psi_i /. vt and b = sign *. psi_j /. vt in
+  let d = b -. a in
+  if Float.abs d < 1e-9 then safe_exp (0.5 *. (a +. b))
+  else (safe_exp b -. safe_exp a) /. d
+
+let carrier_sign = function Electrons -> 1.0 | Holes -> -1.0
+
+let mobility_of dev carrier k =
+  match carrier with
+  | Electrons -> dev.Structure.mobility_n.(k)
+  | Holes -> dev.Structure.mobility_p.(k)
+
+let edge_mobility dev carrier k k' =
+  0.5 *. (mobility_of dev carrier k +. mobility_of dev carrier k')
+
+let terminal_bias (biases : Poisson.biases) = function
+  | Structure.Source -> biases.Poisson.source
+  | Structure.Drain -> biases.Poisson.drain
+  | Structure.Gate -> biases.Poisson.gate
+  | Structure.Substrate -> biases.Poisson.substrate
+
+(* Ohmic-contact Slotboom value: electrons u = e^{-V/vt}, holes w = e^{V/vt}. *)
+let contact_u ~sign vt biases term = safe_exp (-.sign *. terminal_bias biases term /. vt)
+
+let solve ?recombination dev ~carrier ~biases ~psi =
+  let mesh = dev.Structure.mesh in
+  let nx = mesh.Mesh.nx and ny = mesh.Mesh.ny in
+  let n_nodes = nx * ny in
+  if Array.length psi <> n_nodes then invalid_arg "Continuity.solve: psi length mismatch";
+  let xs = mesh.Mesh.xs and ys = mesh.Mesh.ys in
+  let vt = dev.Structure.vt and ni = dev.Structure.ni in
+  let sign = carrier_sign carrier in
+  let a = Numerics.Banded.create ~n:n_nodes ~kl:ny ~ku:ny in
+  let rhs = Array.make n_nodes 0.0 in
+  for ix = 0 to nx - 1 do
+    for iy = 0 to ny - 1 do
+      let k = (ix * ny) + iy in
+      match dev.Structure.boundary.(k) with
+      | Structure.Ohmic term ->
+        Numerics.Banded.set a k k 1.0;
+        rhs.(k) <- contact_u ~sign vt biases term
+      | Structure.Interior | Structure.Reflecting | Structure.Gate_surface ->
+        let wx = Mesh.dual_width_x mesh ix and wy = Mesh.dual_width_y mesh iy in
+        let diag = ref 0.0 in
+        let couple k' dist area =
+          let g =
+            edge_mobility dev carrier k k' *. vt *. ni *. area /. dist
+            *. exp_average ~sign vt psi.(k) psi.(k')
+          in
+          diag := !diag +. g;
+          Numerics.Banded.add_to a k k' (-.g)
+        in
+        if ix > 0 then couple (k - ny) (xs.(ix) -. xs.(ix - 1)) wy;
+        if ix < nx - 1 then couple (k + ny) (xs.(ix + 1) -. xs.(ix)) wy;
+        if iy > 0 then couple (k - 1) (ys.(iy) -. ys.(iy - 1)) wx;
+        if iy < ny - 1 then couple (k + 1) (ys.(iy + 1) -. ys.(iy)) wx;
+        (* SRH: with the opposite carrier lagged, R is affine in the solved
+           Slotboom variable; for either carrier the balance reads
+           sum g (u_i - u_j) + vol a u_i = vol b,  a = ni^2 v_lag/D,
+           b = ni^2/D, where v_lag is the lagged opposite Slotboom value at
+           the *current* potential and D the lagged SRH denominator. *)
+        (match recombination with
+         | None -> ()
+         | Some ({ tau_n; tau_p }, n_prev, p_prev) ->
+           let vol = wx *. wy in
+           let n_lag = Float.max n_prev.(k) 0.0 in
+           let p_lag = Float.max p_prev.(k) 0.0 in
+           let denom =
+             Float.max 1e-30 ((tau_p *. (n_lag +. ni)) +. (tau_n *. (p_lag +. ni)))
+           in
+           let opposite = match carrier with Electrons -> p_lag | Holes -> n_lag in
+           let v_lag = opposite /. ni *. safe_exp (sign *. psi.(k) /. vt) in
+           diag := !diag +. (vol *. ni *. ni *. v_lag /. denom);
+           rhs.(k) <- rhs.(k) +. (vol *. ni *. ni /. denom));
+        let d = !diag in
+        if d <= 0.0 then failwith "Continuity.solve: non-positive diagonal";
+        let inv = 1.0 /. d in
+        Numerics.Banded.add_to a k k d;
+        (* Row scaling keeps pivots O(1) despite the e^{psi/vt} range. *)
+        for off = -ny to ny do
+          let k' = k + off in
+          if k' >= 0 && k' < n_nodes then begin
+            let v = Numerics.Banded.get a k k' in
+            if v <> 0.0 then Numerics.Banded.set a k k' (v *. inv)
+          end
+        done;
+        rhs.(k) <- rhs.(k) *. inv
+    done
+  done;
+  let u = Numerics.Banded.solve_in_place a rhs in
+  let u = Array.map (fun v -> Float.max v 1e-300) u in
+  let density = Array.mapi (fun k uk -> ni *. uk *. safe_exp (sign *. psi.(k) /. vt)) u in
+  let quasi_fermi = Array.map (fun uk -> -.sign *. vt *. log uk) u in
+  { u; density; quasi_fermi }
+
+let terminal_current dev ~carrier ~psi ~u =
+  let mesh = dev.Structure.mesh in
+  let ny = mesh.Mesh.ny in
+  let xs = mesh.Mesh.xs in
+  let vt = dev.Structure.vt and ni = dev.Structure.ni in
+  let sign = carrier_sign carrier in
+  let ix = Int.min (Mesh.find_ix mesh dev.Structure.x_channel_mid) (mesh.Mesh.nx - 2) in
+  let hx = xs.(ix + 1) -. xs.(ix) in
+  let total = ref 0.0 in
+  for iy = 0 to ny - 1 do
+    let k = (ix * ny) + iy in
+    let k' = ((ix + 1) * ny) + iy in
+    let dy = Mesh.dual_width_y mesh iy in
+    let g =
+      edge_mobility dev carrier k k' *. vt *. ni
+      *. exp_average ~sign vt psi.(k) psi.(k') /. hx
+    in
+    (* Electron particle flux i->j is proportional to (u_j - u_i) times -g;
+       conventional current is opposite for electrons and aligned for holes;
+       both reduce to the same signed expression via the carrier sign. *)
+    total := !total +. (sign *. q *. g *. (u.(k') -. u.(k)) *. dy)
+  done;
+  !total
+
+let drain_current dev ~psi ~u =
+  Float.abs (terminal_current dev ~carrier:Electrons ~psi ~u)

@@ -1,0 +1,50 @@
+(** Carrier continuity in Slotboom form, for either carrier.
+
+    Electrons: with u = n / (n_i e^{psi/vT}) (so phi_n = -vT ln u),
+    steady-state continuity becomes the symmetric positive-definite problem
+    div (mu_n vT n_i e^{psi/vT} grad u) = R.  Holes are the exact mirror:
+    w = p / (n_i e^{-psi/vT}) (phi_p = +vT ln w) with coefficient
+    e^{-psi/vT} and source -R.  Both cases produce the same M-matrix form.
+    The edge coefficients use the exact exponential average of e^{+-psi/vT}
+    along each edge — algebraically the Scharfetter–Gummel flux.
+
+    Recombination R is Shockley–Read–Hall,
+    R = (n p - n_i^2) / (tau_p (n + n_i) + tau_n (p + n_i)),
+    linearized in the solved variable with the lagged densities of the
+    previous Gummel iterate (the standard decoupled treatment). *)
+
+type carrier = Electrons | Holes
+
+type srh = { tau_n : float; tau_p : float }
+
+val default_srh : srh
+(** 0.1 us lifetimes — a clean-silicon value. *)
+
+type solution = {
+  u : Numerics.Vec.t;  (** Slotboom variable per node *)
+  density : Numerics.Vec.t;  (** carrier density [m^-3] *)
+  quasi_fermi : Numerics.Vec.t;  (** quasi-Fermi potential [V] *)
+}
+
+val solve :
+  ?recombination:srh * Numerics.Vec.t * Numerics.Vec.t ->
+  Structure.t ->
+  carrier:carrier ->
+  biases:Poisson.biases ->
+  psi:Numerics.Vec.t ->
+  solution
+(** Direct banded solve for one carrier.  [recombination] carries the SRH
+    lifetimes and the lagged electron and hole densities (in that order)
+    from the previous Gummel iterate; omit it for the recombination-free
+    problem.  Raises [Failure] on a singular system (cannot happen on a
+    connected mesh with an ohmic contact). *)
+
+val terminal_current :
+  Structure.t -> carrier:carrier -> psi:Numerics.Vec.t -> u:Numerics.Vec.t -> float
+(** Signed conventional current [A per metre of width] carried by this
+    carrier through a vertical mid-channel cut, positive flowing from
+    source side to drain side. *)
+
+val drain_current : Structure.t -> psi:Numerics.Vec.t -> u:Numerics.Vec.t -> float
+(** Electron-only magnitude (compatibility helper for N-channel sweeps):
+    |{!terminal_current} Electrons|. *)

@@ -1,0 +1,182 @@
+type sweep = { vd : float; vgs : Numerics.Vec.t; ids : Numerics.Vec.t }
+
+(* Magnitude-based sweep: for a P-channel device the applied gate and drain
+   biases are negated internally, so callers reason in |V| for both
+   polarities (the convention of every plot in the paper). *)
+let id_vg ?(vg_min = 0.0) ?(vg_max = 0.9) ?(points = 19) dev ~vd =
+  if points < 2 then invalid_arg "Extract.id_vg: need at least 2 points";
+  let sign =
+    match dev.Structure.desc.Structure.polarity with
+    | Structure.Nchannel -> 1.0
+    | Structure.Pchannel -> -1.0
+  in
+  let vgs = Numerics.Vec.linspace vg_min vg_max points in
+  let ids = Array.make points 0.0 in
+  let eq = Gummel.equilibrium dev in
+  (* First reach (vg_min, vd), then walk the gate voltage. *)
+  let start =
+    Gummel.solve_at dev ~from:eq
+      { Poisson.zero_bias with Poisson.drain = sign *. vd; gate = sign *. vg_min }
+  in
+  let state = ref start in
+  for i = 0 to points - 1 do
+    let target = { !state.Gummel.biases with Poisson.gate = sign *. vgs.(i) } in
+    state := Gummel.solve_at dev ~from:!state target;
+    ids.(i) <- !state.Gummel.drain_current
+  done;
+  { vd; vgs; ids }
+
+(* Output characteristic: sweep the drain at fixed gate bias. *)
+type output_sweep = { vg : float; vds : Numerics.Vec.t; ids : Numerics.Vec.t }
+
+let id_vd ?(vd_max = 0.6) ?(points = 13) dev ~vg =
+  if points < 2 then invalid_arg "Extract.id_vd: need at least 2 points";
+  let sign =
+    match dev.Structure.desc.Structure.polarity with
+    | Structure.Nchannel -> 1.0
+    | Structure.Pchannel -> -1.0
+  in
+  let vds = Numerics.Vec.linspace (vd_max /. float_of_int points) vd_max points in
+  let ids = Array.make points 0.0 in
+  let eq = Gummel.equilibrium dev in
+  let start =
+    Gummel.solve_at dev ~from:eq { Poisson.zero_bias with Poisson.gate = sign *. vg }
+  in
+  let state = ref start in
+  for i = 0 to points - 1 do
+    let target = { !state.Gummel.biases with Poisson.drain = sign *. vds.(i) } in
+    state := Gummel.solve_at dev ~from:!state target;
+    ids.(i) <- !state.Gummel.drain_current
+  done;
+  { vg; vds; ids }
+
+(* Gate charge per metre of width: the oxide field integrated over the gate
+   footprint. *)
+let gate_charge dev (state : Gummel.state) =
+  let mesh = dev.Structure.mesh in
+  let cox = Physics.Constants.eps_ox /. dev.Structure.desc.Structure.tox in
+  let gate_pot =
+    state.Gummel.biases.Poisson.gate +. dev.Structure.gate_potential_offset
+  in
+  let total = ref 0.0 in
+  for ix = 0 to mesh.Mesh.nx - 1 do
+    let k = Mesh.index mesh ~ix ~iy:0 in
+    match dev.Structure.boundary.(k) with
+    | Structure.Gate_surface ->
+      total := !total +. (cox *. (gate_pot -. state.Gummel.psi.(k)) *. Mesh.dual_width_x mesh ix)
+    | Structure.Interior | Structure.Reflecting | Structure.Ohmic _ -> ()
+  done;
+  !total
+
+let gate_capacitance ?(dv = 5e-3) dev ~vg ~vd =
+  let eq = Gummel.equilibrium dev in
+  let at vgate =
+    let s =
+      Gummel.solve_at dev ~from:eq { Poisson.zero_bias with Poisson.drain = vd; gate = vgate }
+    in
+    gate_charge dev s
+  in
+  (at (vg +. dv) -. at (vg -. dv)) /. (2.0 *. dv)
+
+type cut = {
+  positions : Numerics.Vec.t;
+  psi : Numerics.Vec.t;
+  n : Numerics.Vec.t;
+  p : Numerics.Vec.t;
+  net_doping : Numerics.Vec.t;
+}
+
+let vertical_cut dev (state : Gummel.state) ~x =
+  let mesh = dev.Structure.mesh in
+  let ix = Mesh.find_ix mesh x in
+  let ny = mesh.Mesh.ny in
+  let take field = Array.init ny (fun iy -> field.((ix * ny) + iy)) in
+  {
+    positions = Array.copy mesh.Mesh.ys;
+    psi = take state.Gummel.psi;
+    n = take state.Gummel.n;
+    p = take state.Gummel.p;
+    net_doping = take dev.Structure.net_doping;
+  }
+
+let lateral_cut dev (state : Gummel.state) ~y =
+  let mesh = dev.Structure.mesh in
+  let iy = Mesh.find_iy mesh y in
+  let ny = mesh.Mesh.ny in
+  let take field = Array.init mesh.Mesh.nx (fun ix -> field.((ix * ny) + iy)) in
+  {
+    positions = Array.copy mesh.Mesh.xs;
+    psi = take state.Gummel.psi;
+    n = take state.Gummel.n;
+    p = take state.Gummel.p;
+    net_doping = take dev.Structure.net_doping;
+  }
+
+let log10 x = log x /. log 10.0
+
+let subthreshold_slope ?i_lo ?i_hi (sweep : sweep) =
+  (* Default window: a 2.5-decade band starting a factor of 3 above the
+     lowest simulated current, which sits safely inside weak inversion
+     whatever the absolute current level of the device. *)
+  let i_min = Array.fold_left Float.min infinity sweep.ids in
+  let i_lo = match i_lo with Some v -> v | None -> 3.0 *. i_min in
+  let i_hi = match i_hi with Some v -> v | None -> i_lo *. (10.0 ** 2.5) in
+  let pairs =
+    Array.to_list (Array.mapi (fun i vg -> (vg, sweep.ids.(i))) sweep.vgs)
+    |> List.filter (fun (_, id) -> id >= i_lo && id <= i_hi)
+  in
+  if List.length pairs < 3 then
+    failwith
+      (Printf.sprintf "Extract.subthreshold_slope: only %d points in window [%g, %g] A/m"
+         (List.length pairs) i_lo i_hi);
+  let vgs = Array.of_list (List.map fst pairs) in
+  let logs = Array.of_list (List.map (fun (_, id) -> log10 id) pairs) in
+  let slope, _ = Numerics.Stats.linear_regression logs vgs in
+  slope
+
+let current_at (sweep : sweep) vg =
+  let logs = Array.map (fun id -> log10 (Float.max id 1e-300)) sweep.ids in
+  10.0 ** Numerics.Interp.linear sweep.vgs logs vg
+
+let threshold_voltage ?(criterion = 1e-1) (sweep : sweep) =
+  let target = log10 criterion in
+  let logs = Array.map (fun id -> log10 (Float.max id 1e-300)) sweep.ids in
+  match Numerics.Interp.crossings sweep.vgs logs target with
+  | v :: _ -> v
+  | [] -> failwith "Extract.threshold_voltage: criterion outside the swept range"
+
+let dibl ~low ~high =
+  let vth_low = threshold_voltage low and vth_high = threshold_voltage high in
+  (vth_low -. vth_high) /. (high.vd -. low.vd)
+
+type characteristics = {
+  ss : float;
+  vth_lin : float;
+  vth_sat : float;
+  dibl : float;
+  ioff : float;
+  ion_sub : float;
+  on_off_ratio_sub : float;
+  leff : float;
+}
+
+let characterize ?(vdd = 0.9) dev =
+  let sweep_lin = id_vg dev ~vd:0.05 ~vg_max:(Float.max vdd 0.9) in
+  let sweep_sat = id_vg dev ~vd:vdd ~vg_max:(Float.max vdd 0.9) in
+  let sweep_sub = id_vg dev ~vd:0.25 ~vg_max:(Float.max vdd 0.9) in
+  let ss = subthreshold_slope sweep_lin in
+  let vth_lin = threshold_voltage sweep_lin in
+  let vth_sat = threshold_voltage sweep_sat in
+  let ioff = current_at sweep_sat 0.0 in
+  let ion_sub = current_at sweep_sub 0.25 in
+  let ioff_sub = current_at sweep_sub 0.0 in
+  {
+    ss;
+    vth_lin;
+    vth_sat;
+    dibl = dibl ~low:sweep_lin ~high:sweep_sat;
+    ioff;
+    ion_sub;
+    on_off_ratio_sub = ion_sub /. Float.max ioff_sub 1e-300;
+    leff = Structure.effective_channel_length dev;
+  }

@@ -1,0 +1,82 @@
+(** Device characterization from simulated Id–Vg sweeps: inverse subthreshold
+    slope, constant-current threshold voltage, DIBL, on/off currents.  This
+    is the layer that stands in for the measurements the paper reads off its
+    MEDICI decks (Figs. 2, 3, 7). *)
+
+type sweep = {
+  vd : float;
+  vgs : Numerics.Vec.t;
+  ids : Numerics.Vec.t;  (** drain current [A/m], same length as [vgs] *)
+}
+
+val id_vg :
+  ?vg_min:float -> ?vg_max:float -> ?points:int -> Structure.t -> vd:float -> sweep
+(** Simulate an Id–Vg sweep at fixed [vd], warm-starting each bias point from
+    the previous one.  Default gate range 0 .. 0.9 V in 19 points.  Biases
+    are magnitudes: for a P-channel device the applied voltages are negated
+    internally. *)
+
+type output_sweep = {
+  vg : float;
+  vds : Numerics.Vec.t;
+  ids : Numerics.Vec.t;  (** drain current [A/m] *)
+}
+
+val id_vd : ?vd_max:float -> ?points:int -> Structure.t -> vg:float -> output_sweep
+(** Output characteristic at fixed gate bias (magnitudes; P-channel biases
+    negated internally).  Default sweep to 0.6 V in 13 points. *)
+
+val gate_charge : Structure.t -> Gummel.state -> float
+(** Gate charge per metre of width [C/m]: the oxide displacement field
+    integrated over the gate footprint at a solved bias point. *)
+
+val gate_capacitance : ?dv:float -> Structure.t -> vg:float -> vd:float -> float
+(** C_gg = dQ_g/dV_g [F/m of width] by central differencing two solves
+    [dv] apart (default 5 mV) — the 2-D counterpart of the compact model's
+    C_g. *)
+
+type cut = {
+  positions : Numerics.Vec.t;  (** node coordinates along the cut [m] *)
+  psi : Numerics.Vec.t;
+  n : Numerics.Vec.t;
+  p : Numerics.Vec.t;
+  net_doping : Numerics.Vec.t;
+}
+
+val vertical_cut : Structure.t -> Gummel.state -> x:float -> cut
+(** Depth profile at the mesh column nearest [x]. *)
+
+val lateral_cut : Structure.t -> Gummel.state -> y:float -> cut
+(** Along-channel profile at the mesh row nearest [y]. *)
+
+val subthreshold_slope : ?i_lo:float -> ?i_hi:float -> sweep -> float
+(** Inverse subthreshold slope S_S [V/decade], from the least-squares slope
+    of V_g against log10(I_d) over the current window [[i_lo, i_hi]] [A/m].
+    By default the window is adaptive: 2.5 decades starting a factor of 3
+    above the lowest simulated current, safely inside weak inversion.
+    Raises [Failure] if fewer than 3 sweep points fall in the window. *)
+
+val threshold_voltage : ?criterion:float -> sweep -> float
+(** Constant-current V_th: the gate voltage where I_d crosses [criterion]
+    (default 1e-1 A/m, i.e. 100 nA/um), interpolated in log current. *)
+
+val current_at : sweep -> float -> float
+(** [current_at sweep vg], interpolating log-linearly. *)
+
+val dibl : low:sweep -> high:sweep -> float
+(** DIBL [V/V]: (V_th(low V_d) - V_th(high V_d)) / (V_d,high - V_d,low). *)
+
+type characteristics = {
+  ss : float;  (** [V/dec] *)
+  vth_lin : float;  (** [V] at V_d = 50 mV *)
+  vth_sat : float;  (** [V] at V_d = V_dd *)
+  dibl : float;  (** [V/V] *)
+  ioff : float;  (** [A/m] at V_g = 0, V_d = V_dd *)
+  ion_sub : float;  (** [A/m] at V_g = V_d = 250 mV *)
+  on_off_ratio_sub : float;  (** I_on/I_off with both at V_dd = 250 mV *)
+  leff : float;  (** metallurgical channel length [m] *)
+}
+
+val characterize : ?vdd:float -> Structure.t -> characteristics
+(** Full characterization at supply [vdd] (default 0.9 V for V_th,sat) and at
+    the paper's subthreshold operating point V_dd = 250 mV. *)

@@ -1,0 +1,115 @@
+type state = {
+  biases : Poisson.biases;
+  psi : Numerics.Vec.t;
+  u : Numerics.Vec.t;
+  w : Numerics.Vec.t;
+  n : Numerics.Vec.t;
+  p : Numerics.Vec.t;
+  phi_n : Numerics.Vec.t;
+  phi_p : Numerics.Vec.t;
+  drain_current : float;
+}
+
+exception No_convergence of string
+
+let src = Logs.Src.create "tcad.gummel" ~doc:"Gummel iteration"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let total_drain_current dev ~psi ~u ~w =
+  let i_n = Continuity.terminal_current dev ~carrier:Continuity.Electrons ~psi ~u in
+  let i_p = Continuity.terminal_current dev ~carrier:Continuity.Holes ~psi ~u:w in
+  Float.abs (i_n +. i_p)
+
+let equilibrium dev =
+  let n_nodes = Mesh.n_nodes dev.Structure.mesh in
+  let zeros = Array.make n_nodes 0.0 in
+  let psi0 = Poisson.equilibrium_guess dev in
+  let sol = Poisson.solve dev ~biases:Poisson.zero_bias ~phi_n:zeros ~phi_p:zeros ~psi0 in
+  if not sol.Poisson.converged then
+    raise (No_convergence "equilibrium Poisson did not converge");
+  let psi = sol.Poisson.psi in
+  let e = Continuity.solve dev ~carrier:Continuity.Electrons ~biases:Poisson.zero_bias ~psi in
+  let h = Continuity.solve dev ~carrier:Continuity.Holes ~biases:Poisson.zero_bias ~psi in
+  {
+    biases = Poisson.zero_bias;
+    psi;
+    u = e.Continuity.u;
+    w = h.Continuity.u;
+    n = e.Continuity.density;
+    p = h.Continuity.density;
+    phi_n = e.Continuity.quasi_fermi;
+    phi_p = h.Continuity.quasi_fermi;
+    drain_current = 0.0;
+  }
+
+let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_srh) dev
+    ~(from : state) (biases : Poisson.biases) =
+  let rec loop psi phi_n phi_p n_prev p_prev iter =
+    let sol = Poisson.solve dev ~biases ~phi_n ~phi_p ~psi0:psi in
+    if not sol.Poisson.converged then
+      raise
+        (No_convergence
+           (Printf.sprintf "Poisson stalled at Vg=%.3f Vd=%.3f (residual %.2e)" biases.gate
+              biases.drain sol.Poisson.residual));
+    let psi' = sol.Poisson.psi in
+    let recombination = Option.map (fun s -> (s, n_prev, p_prev)) srh in
+    let e = Continuity.solve ?recombination dev ~carrier:Continuity.Electrons ~biases ~psi:psi' in
+    let h = Continuity.solve ?recombination dev ~carrier:Continuity.Holes ~biases ~psi:psi' in
+    let delta = Numerics.Vec.max_abs_diff psi' psi in
+    if delta < tol || iter >= max_gummel then begin
+      if delta >= tol then
+        raise
+          (No_convergence
+             (Printf.sprintf "Gummel stalled at Vg=%.3f Vd=%.3f (delta %.2e V)" biases.gate
+                biases.drain delta));
+      {
+        biases;
+        psi = psi';
+        u = e.Continuity.u;
+        w = h.Continuity.u;
+        n = e.Continuity.density;
+        p = h.Continuity.density;
+        phi_n = e.Continuity.quasi_fermi;
+        phi_p = h.Continuity.quasi_fermi;
+        drain_current = total_drain_current dev ~psi:psi' ~u:e.Continuity.u ~w:h.Continuity.u;
+      }
+    end
+    else
+      loop psi' e.Continuity.quasi_fermi h.Continuity.quasi_fermi e.Continuity.density
+        h.Continuity.density (iter + 1)
+  in
+  loop from.psi from.phi_n from.phi_p from.n from.p 0
+
+let solve_at ?(tol = 5e-7) ?(max_gummel = 40) ?(ramp_step = 0.1) ?srh dev ~from target =
+  let dist (a : Poisson.biases) (b : Poisson.biases) =
+    Float.max
+      (Float.abs (a.Poisson.gate -. b.Poisson.gate))
+      (Float.max
+         (Float.abs (a.Poisson.drain -. b.Poisson.drain))
+         (Float.max
+            (Float.abs (a.Poisson.source -. b.Poisson.source))
+            (Float.abs (a.Poisson.substrate -. b.Poisson.substrate))))
+  in
+  let total = dist from.biases target in
+  let steps = Int.max 1 (int_of_float (ceil (total /. ramp_step))) in
+  let interp frac =
+    let mix a b = a +. (frac *. (b -. a)) in
+    {
+      Poisson.source = mix from.biases.Poisson.source target.Poisson.source;
+      drain = mix from.biases.Poisson.drain target.Poisson.drain;
+      gate = mix from.biases.Poisson.gate target.Poisson.gate;
+      substrate = mix from.biases.Poisson.substrate target.Poisson.substrate;
+    }
+  in
+  let rec ramp state i =
+    if i > steps then state
+    else begin
+      let b = interp (float_of_int i /. float_of_int steps) in
+      Log.debug (fun m ->
+          m "ramp step %d/%d: Vg=%.3f Vd=%.3f" i steps b.Poisson.gate b.Poisson.drain);
+      let state' = gummel_at ~tol ~max_gummel ?srh dev ~from:state b in
+      ramp state' (i + 1)
+    end
+  in
+  ramp from 1

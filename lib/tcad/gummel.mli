@@ -1,0 +1,35 @@
+(** Gummel (decoupled) iteration: alternate the nonlinear Poisson half-step
+    (frozen quasi-Fermi levels) with the two linear carrier-continuity
+    solves until the potential stops moving, ramping terminal biases in
+    steps small enough that each warm start converges.
+
+    The solver is bipolar: both electron and hole continuity are solved each
+    sweep (with SRH recombination coupling them), so N-channel and P-channel
+    devices run through the same loop and the reported drain current is the
+    total (electron + hole) current through the mid-channel cut. *)
+
+type state = {
+  biases : Poisson.biases;
+  psi : Numerics.Vec.t;
+  u : Numerics.Vec.t;  (** electron Slotboom variable *)
+  w : Numerics.Vec.t;  (** hole Slotboom variable *)
+  n : Numerics.Vec.t;  (** electron density [m^-3] *)
+  p : Numerics.Vec.t;  (** hole density [m^-3] *)
+  phi_n : Numerics.Vec.t;
+  phi_p : Numerics.Vec.t;
+  drain_current : float;  (** total conventional current magnitude [A/m] *)
+}
+
+exception No_convergence of string
+
+val equilibrium : Structure.t -> state
+(** Thermal-equilibrium solution (all terminals grounded). *)
+
+val solve_at :
+  ?tol:float -> ?max_gummel:int -> ?ramp_step:float -> ?srh:Continuity.srh option ->
+  Structure.t -> from:state -> Poisson.biases -> state
+(** [solve_at dev ~from target] ramps from the bias point of [from] to
+    [target] (default step 0.1 V) and Gummel-iterates at each point.
+    [srh] defaults to {!Continuity.default_srh}; pass [None] to disable
+    recombination.  Raises {!No_convergence} with a diagnostic if either
+    inner solver stalls. *)

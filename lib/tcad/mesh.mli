@@ -1,0 +1,40 @@
+(** 2-D tensor-product finite-volume mesh for the device simulator.
+
+    Coordinates: [x] runs laterally (source to drain), [y] runs vertically
+    from the Si/SiO2 interface ([y = 0]) down into the substrate.  The gate
+    oxide is not meshed; it enters the Poisson problem as a Robin boundary
+    term on the surface boxes under the gate (see {!Poisson}).
+
+    Nodes are indexed [k = ix * ny + iy] so that the vertical dimension
+    (the smaller one) sets the matrix bandwidth. *)
+
+type t = {
+  xs : Numerics.Vec.t;  (** lateral node coordinates [m], increasing *)
+  ys : Numerics.Vec.t;  (** vertical node coordinates [m], 0 at surface *)
+  nx : int;
+  ny : int;
+}
+
+val make : xs:Numerics.Vec.t -> ys:Numerics.Vec.t -> t
+(** Validates monotonicity and minimum size (3 x 3). *)
+
+val n_nodes : t -> int
+
+val index : t -> ix:int -> iy:int -> int
+
+val coords : t -> int -> float * float
+(** Node coordinates from the flat index. *)
+
+val dual_width_x : t -> int -> float
+(** [dual_width_x m ix] is the finite-volume box width around column [ix]
+    (half-spacing on each interior side). *)
+
+val dual_width_y : t -> int -> float
+
+val box_area : t -> int -> float
+(** Dual-box area (per unit device width) around a flat node index. *)
+
+val find_ix : t -> float -> int
+(** Nearest column index to a lateral coordinate. *)
+
+val find_iy : t -> float -> int

@@ -1,0 +1,116 @@
+type biases = { source : float; drain : float; gate : float; substrate : float }
+
+let zero_bias = { source = 0.0; drain = 0.0; gate = 0.0; substrate = 0.0 }
+
+type solution = {
+  psi : Numerics.Vec.t;
+  iterations : int;
+  residual : float;
+  converged : bool;
+}
+
+let q = Physics.Constants.q
+let eps_si = Physics.Constants.eps_si
+let eps_ox = Physics.Constants.eps_ox
+
+(* Clamp Boltzmann exponents: e^200 would overflow after multiplication by
+   n_i; carriers beyond this clamp are unphysical anyway. *)
+let safe_exp a = exp (Float.max (-120.0) (Float.min 120.0 a))
+
+let equilibrium_guess dev =
+  Array.map
+    (fun c -> Physics.Silicon.bulk_potential_of_net_doping ~t:dev.Structure.desc.temperature c)
+    dev.Structure.net_doping
+
+let terminal_bias (b : biases) = function
+  | Structure.Source -> b.source
+  | Structure.Drain -> b.drain
+  | Structure.Gate -> b.gate
+  | Structure.Substrate -> b.substrate
+
+let contact_potential dev b term net =
+  terminal_bias b term
+  +. Physics.Silicon.bulk_potential_of_net_doping ~t:dev.Structure.desc.temperature net
+
+let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
+  let mesh = dev.Structure.mesh in
+  let nx = mesh.Mesh.nx and ny = mesh.Mesh.ny in
+  let n = nx * ny in
+  if Array.length psi0 <> n || Array.length phi_n <> n || Array.length phi_p <> n then
+    invalid_arg "Poisson.solve: state length mismatch";
+  let xs = mesh.Mesh.xs and ys = mesh.Mesh.ys in
+  let vt = dev.Structure.vt and ni = dev.Structure.ni in
+  let psi = Array.copy psi0 in
+  let a = Numerics.Banded.create ~n ~kl:ny ~ku:ny in
+  let rhs = Array.make n 0.0 in
+  let gate_pot = biases.gate +. dev.Structure.gate_potential_offset in
+  (* Assemble residual F(psi) and Jacobian; returns residual inf-norm scaled
+     by the diagonal (units of volts). *)
+  let assemble () =
+    Numerics.Banded.clear a;
+    Array.fill rhs 0 n 0.0;
+    let max_update_estimate = ref 0.0 in
+    for ix = 0 to nx - 1 do
+      for iy = 0 to ny - 1 do
+        let k = (ix * ny) + iy in
+        match dev.Structure.boundary.(k) with
+        | Structure.Ohmic term ->
+          let value = contact_potential dev biases term dev.Structure.net_doping.(k) in
+          Numerics.Banded.set a k k 1.0;
+          rhs.(k) <- -.(psi.(k) -. value);
+          max_update_estimate := Float.max !max_update_estimate (Float.abs rhs.(k))
+        | Structure.Interior | Structure.Reflecting | Structure.Gate_surface ->
+          let wx = Mesh.dual_width_x mesh ix and wy = Mesh.dual_width_y mesh iy in
+          let diag = ref 0.0 and f = ref 0.0 in
+          let couple k' dist area =
+            let g = eps_si *. area /. dist in
+            f := !f +. (g *. (psi.(k') -. psi.(k)));
+            diag := !diag -. g;
+            Numerics.Banded.add_to a k k' g
+          in
+          if ix > 0 then couple (k - ny) (xs.(ix) -. xs.(ix - 1)) wy;
+          if ix < nx - 1 then couple (k + ny) (xs.(ix + 1) -. xs.(ix)) wy;
+          if iy > 0 then couple (k - 1) (ys.(iy) -. ys.(iy - 1)) wx;
+          if iy < ny - 1 then couple (k + 1) (ys.(iy + 1) -. ys.(iy)) wx;
+          (* Oxide Robin term on gate-surface boxes. *)
+          (match dev.Structure.boundary.(k) with
+           | Structure.Gate_surface ->
+             let g_ox = eps_ox *. wx /. dev.Structure.desc.tox in
+             f := !f +. (g_ox *. (gate_pot -. psi.(k)));
+             diag := !diag -. g_ox
+           | Structure.Interior | Structure.Reflecting | Structure.Ohmic _ -> ());
+          (* Space charge. *)
+          let vol = wx *. wy in
+          let n_e = ni *. safe_exp ((psi.(k) -. phi_n.(k)) /. vt) in
+          let p_h = ni *. safe_exp ((phi_p.(k) -. psi.(k)) /. vt) in
+          let charge = q *. (p_h -. n_e +. dev.Structure.net_doping.(k)) *. vol in
+          f := !f +. charge;
+          diag := !diag -. (q *. (p_h +. n_e) /. vt *. vol);
+          Numerics.Banded.add_to a k k !diag;
+          rhs.(k) <- -. !f;
+          max_update_estimate := Float.max !max_update_estimate (Float.abs (!f /. !diag))
+      done
+    done;
+    !max_update_estimate
+  in
+  (* Bank–Rose style damping: each node moves at most a few thermal
+     voltages per iteration, which keeps the Boltzmann terms from exploding
+     while letting already-converged regions take full Newton steps. *)
+  let clamp = 10.0 *. vt in
+  let rec iterate iter =
+    let scaled_res = assemble () in
+    if scaled_res <= tol then { psi; iterations = iter; residual = scaled_res; converged = true }
+    else if iter >= max_iter then
+      { psi; iterations = iter; residual = scaled_res; converged = false }
+    else begin
+      if Sys.getenv_opt "TCAD_DEBUG" <> None then
+        Printf.eprintf "poisson iter %d: scaled_res %.3e\n%!" iter scaled_res;
+      let dpsi = Numerics.Banded.solve_in_place a rhs in
+      for k = 0 to n - 1 do
+        let d = Float.max (-.clamp) (Float.min clamp dpsi.(k)) in
+        psi.(k) <- psi.(k) +. d
+      done;
+      iterate (iter + 1)
+    end
+  in
+  iterate 0

@@ -1,0 +1,39 @@
+(** Nonlinear Poisson solver: div(eps grad psi) = -q (p - n + C) with
+    Boltzmann carriers at frozen quasi-Fermi potentials (one Gummel half
+    step).  Finite-volume on the tensor mesh; damped Newton with a banded
+    direct solver.
+
+    Potentials are referenced to the intrinsic Fermi level, so an ohmic
+    contact at applied bias V is the Dirichlet value
+    V + vT asinh(C / 2 n_i), and the n+ poly gate couples through the oxide
+    with potential V_g + phi_gate. *)
+
+type biases = { source : float; drain : float; gate : float; substrate : float }
+
+val zero_bias : biases
+
+type solution = {
+  psi : Numerics.Vec.t;
+  iterations : int;
+  residual : float;  (** infinity norm of the scaled residual [V] *)
+  converged : bool;
+}
+
+val equilibrium_guess : Structure.t -> Numerics.Vec.t
+(** Charge-neutral potential per node — the standard initial guess. *)
+
+val contact_potential : Structure.t -> biases -> Structure.terminal -> float -> float
+(** [contact_potential dev b term net] is the Dirichlet potential of an ohmic
+    node of terminal [term] with local net doping [net]. *)
+
+val solve :
+  ?tol:float ->
+  ?max_iter:int ->
+  Structure.t ->
+  biases:biases ->
+  phi_n:Numerics.Vec.t ->
+  phi_p:Numerics.Vec.t ->
+  psi0:Numerics.Vec.t ->
+  solution
+(** Newton iteration from [psi0]; per-node updates are clamped to a fraction
+    of a volt for robustness.  [tol] (default 1e-9 V) bounds the update norm. *)

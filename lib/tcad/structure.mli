@@ -1,0 +1,67 @@
+(** Device structure: an NFET description compiled onto a mesh with doping,
+    boundary classification, and per-node mobility.  This is the "deck" the
+    solver consumes — the role a MEDICI input file plays in the paper. *)
+
+type polarity = Nchannel | Pchannel
+
+type description = {
+  polarity : polarity;  (** NFET (p-body, n+ S/D) or PFET (mirror) *)
+  lpoly : float;  (** physical gate length after etch [m] *)
+  tox : float;  (** gate oxide thickness [m] *)
+  nsub : float;  (** uniform body doping magnitude [m^-3] (acceptors for N-channel) *)
+  np_halo : float;  (** peak halo doping added to the body [m^-3], same type as the body *)
+  xj : float;  (** source/drain junction depth [m] *)
+  nsd : float;  (** peak source/drain doping magnitude [m^-3], opposite type to the body *)
+  overlap : float;  (** gate/source-drain overlap (lateral diffusion) [m] *)
+  halo_depth_frac : float;  (** halo centre depth as a fraction of xj *)
+  halo_sigma_frac : float;  (** halo Gaussian sigma as a fraction of xj *)
+  gate_doping : float;  (** n+ poly doping, sets the gate contact potential [m^-3] *)
+  temperature : float;  (** lattice temperature [K] *)
+}
+
+val default_description : description
+(** A representative 90 nm low-power NFET (L_poly 65 nm, T_ox 2.1 nm), with
+    dimensions proportioned as in the paper's Sec. 2.2 (all lengths except
+    T_ox scale with L_poly). *)
+
+val scale_description :
+  ?lpoly:float -> ?tox:float -> ?nsub:float -> ?np_halo:float -> description -> description
+(** Derive a new description: explicitly given fields are set, and all other
+    physical dimensions (x_j, overlap, halo geometry) are rescaled in
+    proportion to the L_poly change, per the paper's scaling assumption. *)
+
+type terminal = Source | Drain | Gate | Substrate
+
+type boundary =
+  | Interior
+  | Ohmic of terminal  (** Dirichlet: psi = V(term) + built-in potential *)
+  | Gate_surface  (** Robin coupling through the oxide *)
+  | Reflecting  (** homogeneous Neumann *)
+
+type t = {
+  desc : description;
+  mesh : Mesh.t;
+  net_doping : Numerics.Vec.t;  (** N_D - N_A per node [m^-3] *)
+  total_doping : Numerics.Vec.t;  (** N_D + N_A per node, for mobility *)
+  boundary : boundary array;  (** per node *)
+  mobility_n : Numerics.Vec.t;  (** electron mobility per node [m^2/Vs] *)
+  mobility_p : Numerics.Vec.t;  (** hole mobility per node [m^2/Vs] *)
+  gate_potential_offset : float;
+      (** degenerate poly gate potential wrt intrinsic [V]; positive (n+)
+          for N-channel, negative (p+) for P-channel *)
+  x_channel_mid : float;  (** x of mid-channel, for current cuts *)
+  ni : float;  (** intrinsic density at the device temperature *)
+  vt : float;  (** thermal voltage at the device temperature *)
+}
+
+val build : ?nx:int -> ?ny:int -> description -> t
+(** Compile a description to a simulatable structure.  [nx]/[ny] bound the
+    mesh size (defaults chosen for accuracy/speed balance: refined near the
+    surface, the junctions and the halos). *)
+
+val effective_channel_length : t -> float
+(** Metallurgical channel length: surface distance between the points where
+    net doping changes sign. *)
+
+val bias_of_terminal : source:float -> drain:float -> gate:float -> substrate:float ->
+  terminal -> float

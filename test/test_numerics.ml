@@ -1,0 +1,445 @@
+open Subscale
+module Vec = Numerics.Vec
+module Matrix = Numerics.Matrix
+module Tridiag = Numerics.Tridiag
+module Banded = Numerics.Banded
+module Sparse = Numerics.Sparse
+module Root = Numerics.Root
+module Minimize = Numerics.Minimize
+module Interp = Numerics.Interp
+module Integrate = Numerics.Integrate
+module Grid = Numerics.Grid
+module Stats = Numerics.Stats
+module Newton = Numerics.Newton
+
+let u = Test_util.case
+let prop = Test_util.prop
+
+let gen_small_vec n = QCheck2.Gen.(array_size (pure n) (float_range (-10.0) 10.0))
+
+(* Diagonally dominant random matrix and rhs: always uniquely solvable, and
+   LU without pivoting is stable on it. *)
+let gen_dd_system n =
+  QCheck2.Gen.(
+    let* a = array_size (pure (n * n)) (float_range (-1.0) 1.0) in
+    let* b = gen_small_vec n in
+    let m = Array.init n (fun i -> Array.init n (fun j -> a.((i * n) + j))) in
+    Array.iteri
+      (fun i row ->
+        let off = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 row in
+        row.(i) <- off +. 1.0)
+      m;
+    pure (m, b))
+
+let vec_tests =
+  [
+    u "linspace endpoints and spacing" (fun () ->
+        let v = Vec.linspace 1.0 3.0 5 in
+        Test_util.check_float "first" 1.0 v.(0);
+        Test_util.check_float "last" 3.0 v.(4);
+        Test_util.check_float ~tol:1e-12 "step" 0.5 (v.(1) -. v.(0)));
+    u "linspace rejects n < 2" (fun () ->
+        Alcotest.check_raises "invalid" (Invalid_argument "Vec.linspace: need at least 2 points")
+          (fun () -> ignore (Vec.linspace 0.0 1.0 1)));
+    u "logspace is geometric" (fun () ->
+        let v = Vec.logspace 1.0 100.0 3 in
+        Test_util.check_rel "mid" ~rel:1e-12 10.0 v.(1));
+    prop "dot is symmetric" QCheck2.Gen.(pair (gen_small_vec 6) (gen_small_vec 6))
+      (fun (x, y) -> Float.abs (Vec.dot x y -. Vec.dot y x) < 1e-9);
+    prop "Cauchy-Schwarz" QCheck2.Gen.(pair (gen_small_vec 6) (gen_small_vec 6))
+      (fun (x, y) ->
+        Float.abs (Vec.dot x y) <= (Vec.norm2 x *. Vec.norm2 y) +. 1e-9);
+    prop "triangle inequality" QCheck2.Gen.(pair (gen_small_vec 6) (gen_small_vec 6))
+      (fun (x, y) -> Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9);
+    prop "axpy matches add/scale" (gen_small_vec 5) (fun x ->
+        let y = Vec.create 5 1.0 in
+        Vec.axpy 2.0 x y;
+        let expected = Array.map (fun v -> (2.0 *. v) +. 1.0) x in
+        Vec.max_abs_diff y expected < 1e-12);
+    u "norm_inf of signed values" (fun () ->
+        Test_util.check_float "inf" 7.0 (Vec.norm_inf [| 3.0; -7.0; 2.0 |]));
+    u "length mismatch raises" (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Vec.dot: length mismatch (2 vs 3)") (fun () ->
+            ignore (Vec.dot [| 1.0; 2.0 |] [| 1.0; 2.0; 3.0 |])));
+  ]
+
+let matrix_tests =
+  [
+    u "identity solve returns rhs" (fun () ->
+        let b = [| 1.0; -2.0; 3.5 |] in
+        let x = Matrix.solve (Matrix.identity 3) b in
+        Test_util.check_float "diff" 0.0 (Vec.max_abs_diff x b));
+    prop "LU solve inverts mat_vec (diag dominant 5x5)" (gen_dd_system 5)
+      (fun (a, x_true) ->
+        let b = Matrix.mat_vec a x_true in
+        let x = Matrix.solve a b in
+        Vec.max_abs_diff x x_true < 1e-6);
+    u "pivoting handles zero leading entry" (fun () ->
+        let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let x = Matrix.solve a [| 2.0; 3.0 |] in
+        Test_util.check_float "x0" 3.0 x.(0);
+        Test_util.check_float "x1" 2.0 x.(1));
+    u "singular matrix raises" (fun () ->
+        let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        match Matrix.lu_factor a with
+        | exception Matrix.Singular _ -> ()
+        | _ -> Alcotest.fail "expected Singular");
+    u "transpose is an involution" (fun () ->
+        let a = [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |] |] in
+        let att = Matrix.transpose (Matrix.transpose a) in
+        Array.iteri
+          (fun i row -> Array.iteri (fun j v -> Test_util.check_float "cell" a.(i).(j) v) row)
+          att);
+    u "mat_mul against hand result" (fun () ->
+        let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+        let b = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+        let c = Matrix.mat_mul a b in
+        Test_util.check_float "c00" 2.0 c.(0).(0);
+        Test_util.check_float "c11" 3.0 c.(1).(1));
+    u "factor does not mutate input" (fun () ->
+        let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let copy = Matrix.copy a in
+        ignore (Matrix.lu_factor a);
+        Test_util.check_float "unchanged" 0.0
+          (Float.max
+             (Vec.max_abs_diff a.(0) copy.(0))
+             (Vec.max_abs_diff a.(1) copy.(1))));
+  ]
+
+let tridiag_tests =
+  [
+    prop "tridiagonal solve matches dense (n = 8)"
+      QCheck2.Gen.(
+        let* d = array_size (pure 8) (float_range 3.0 6.0) in
+        let* l = array_size (pure 8) (float_range (-1.0) 1.0) in
+        let* up = array_size (pure 8) (float_range (-1.0) 1.0) in
+        let* b = gen_small_vec 8 in
+        pure (d, l, up, b))
+      (fun (diag, lower, upper, rhs) ->
+        let n = 8 in
+        let dense = Matrix.create n n in
+        for i = 0 to n - 1 do
+          dense.(i).(i) <- diag.(i);
+          if i > 0 then dense.(i).(i - 1) <- lower.(i);
+          if i < n - 1 then dense.(i).(i + 1) <- upper.(i)
+        done;
+        let x_tri = Tridiag.solve ~lower ~diag ~upper ~rhs in
+        let x_dense = Matrix.solve dense rhs in
+        Vec.max_abs_diff x_tri x_dense < 1e-8);
+    u "1-D Poisson with unit rhs is symmetric" (fun () ->
+        let n = 11 in
+        let diag = Vec.create n 2.0 and lower = Vec.create n (-1.0) in
+        let upper = Vec.create n (-1.0) and rhs = Vec.create n 1.0 in
+        let x = Tridiag.solve ~lower ~diag ~upper ~rhs in
+        Test_util.check_rel "symmetry" ~rel:1e-9 x.(0) x.(n - 1));
+  ]
+
+let banded_tests =
+  [
+    u "set/get roundtrip and zero outside band" (fun () ->
+        let a = Banded.create ~n:6 ~kl:1 ~ku:2 in
+        Banded.set a 2 3 5.0;
+        Test_util.check_float "in band" 5.0 (Banded.get a 2 3);
+        Test_util.check_float "outside" 0.0 (Banded.get a 5 0));
+    u "set outside band raises" (fun () ->
+        let a = Banded.create ~n:6 ~kl:1 ~ku:1 in
+        Alcotest.check_raises "outside" (Invalid_argument "Banded.set: (0, 3) outside band")
+          (fun () -> Banded.set a 0 3 1.0));
+    prop "banded solve matches dense (n = 10, kl = ku = 2)"
+      QCheck2.Gen.(
+        let* entries = array_size (pure 50) (float_range (-1.0) 1.0) in
+        let* x_true = gen_small_vec 10 in
+        pure (entries, x_true))
+      (fun (entries, x_true) ->
+        let n = 10 and kl = 2 and ku = 2 in
+        let a = Banded.create ~n ~kl ~ku in
+        let dense = Matrix.create n n in
+        let idx = ref 0 in
+        for i = 0 to n - 1 do
+          for j = Int.max 0 (i - kl) to Int.min (n - 1) (i + ku) do
+            if i <> j then begin
+              let v = entries.(!idx mod 50) in
+              incr idx;
+              Banded.set a i j v;
+              dense.(i).(j) <- v
+            end
+          done;
+          (* Diagonal dominance. *)
+          let off = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 dense.(i) in
+          Banded.set a i i (off +. 1.0);
+          dense.(i).(i) <- off +. 1.0
+        done;
+        let b = Matrix.mat_vec dense x_true in
+        let b2 = Banded.mat_vec a b in
+        ignore b2;
+        let x = Banded.solve_in_place a b in
+        Vec.max_abs_diff x x_true < 1e-7);
+    u "mat_vec matches dense" (fun () ->
+        let a = Banded.create ~n:4 ~kl:1 ~ku:1 in
+        Banded.set a 0 0 2.0;
+        Banded.set a 0 1 (-1.0);
+        Banded.set a 1 0 (-1.0);
+        Banded.set a 1 1 2.0;
+        Banded.set a 1 2 (-1.0);
+        Banded.set a 2 1 (-1.0);
+        Banded.set a 2 2 2.0;
+        Banded.set a 2 3 (-1.0);
+        Banded.set a 3 2 (-1.0);
+        Banded.set a 3 3 2.0;
+        let y = Banded.mat_vec a [| 1.0; 1.0; 1.0; 1.0 |] in
+        Test_util.check_float "y0" 1.0 y.(0);
+        Test_util.check_float "y1" 0.0 y.(1));
+    u "clear zeroes the matrix" (fun () ->
+        let a = Banded.create ~n:3 ~kl:1 ~ku:1 in
+        Banded.set a 1 1 4.0;
+        Banded.clear a;
+        Test_util.check_float "cleared" 0.0 (Banded.get a 1 1));
+    u "add_to accumulates" (fun () ->
+        let a = Banded.create ~n:3 ~kl:1 ~ku:1 in
+        Banded.add_to a 1 1 2.0;
+        Banded.add_to a 1 1 3.0;
+        Test_util.check_float "sum" 5.0 (Banded.get a 1 1));
+  ]
+
+let sparse_tests =
+  [
+    u "duplicate triplets are summed" (fun () ->
+        let a = Sparse.of_triplets ~n:2 [ (0, 0, 1.0); (0, 0, 2.0); (1, 1, 1.0) ] in
+        Test_util.check_float "nnz" 2.0 (float_of_int (Sparse.nnz a));
+        Test_util.check_float "diag" 3.0 (Sparse.diagonal a).(0));
+    u "mat_vec on a known matrix" (fun () ->
+        let a = Sparse.of_triplets ~n:2 [ (0, 0, 2.0); (0, 1, 1.0); (1, 1, 3.0) ] in
+        let y = Sparse.mat_vec a [| 1.0; 2.0 |] in
+        Test_util.check_float "y0" 4.0 y.(0);
+        Test_util.check_float "y1" 6.0 y.(1));
+    u "out-of-range triplet raises" (fun () ->
+        Alcotest.check_raises "range"
+          (Invalid_argument "Sparse.of_triplets: (2, 0) out of range") (fun () ->
+            ignore (Sparse.of_triplets ~n:2 [ (2, 0, 1.0) ])));
+    u "bicgstab solves a 1-D Laplacian" (fun () ->
+        let n = 40 in
+        let triplets = ref [] in
+        for i = 0 to n - 1 do
+          triplets := (i, i, 2.0) :: !triplets;
+          if i > 0 then triplets := (i, i - 1, -1.0) :: !triplets;
+          if i < n - 1 then triplets := (i, i + 1, -1.0) :: !triplets
+        done;
+        let a = Sparse.of_triplets ~n !triplets in
+        let x_true = Array.init n (fun i -> sin (float_of_int i)) in
+        let b = Sparse.mat_vec a x_true in
+        let r = Sparse.bicgstab ~tol:1e-12 a b in
+        Alcotest.(check bool) "converged" true r.Sparse.converged;
+        Alcotest.(check bool) "accurate" true (Vec.max_abs_diff r.Sparse.x x_true < 1e-6));
+  ]
+
+let root_tests =
+  [
+    u "bisect finds pi/2 as root of cos" (fun () ->
+        Test_util.check_rel "root" ~rel:1e-8 (Float.pi /. 2.0) (Root.bisect cos 1.0 2.0));
+    u "brent finds pi/2 as root of cos" (fun () ->
+        Test_util.check_rel "root" ~rel:1e-8 (Float.pi /. 2.0) (Root.brent cos 1.0 2.0));
+    u "bisect requires a sign change" (fun () ->
+        Alcotest.check_raises "no change"
+          (Invalid_argument "Root.bisect: no sign change on [a, b]") (fun () ->
+            ignore (Root.bisect (fun x -> (x *. x) +. 1.0) 0.0 1.0)));
+    prop "brent solves x^3 = c" (QCheck2.Gen.float_range 0.5 50.0) (fun c ->
+        let r = Root.brent (fun x -> (x ** 3.0) -. c) 0.0 4.0 in
+        Float.abs ((r ** 3.0) -. c) < 1e-6);
+    u "newton computes sqrt 2" (fun () ->
+        let r = Root.newton ~f:(fun x -> (x *. x) -. 2.0) ~df:(fun x -> 2.0 *. x) 1.0 in
+        Test_util.check_rel "sqrt2" ~rel:1e-10 (sqrt 2.0) r);
+    u "newton raises on zero derivative" (fun () ->
+        match Root.newton ~f:(fun _ -> 1.0) ~df:(fun _ -> 0.0) 0.0 with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected failure");
+    u "find_bracket expands to capture a root" (fun () ->
+        match Root.find_bracket (fun x -> x -. 10.0) 0.0 1.0 with
+        | Some (a, b) -> Alcotest.(check bool) "bracket" true (a <= 10.0 && 10.0 <= b)
+        | None -> Alcotest.fail "expected a bracket");
+    u "find_bracket gives up on rootless functions" (fun () ->
+        Alcotest.(check bool) "none" true
+          (Root.find_bracket ~max_iter:10 (fun x -> (x *. x) +. 1.0) 0.0 1.0 = None));
+  ]
+
+let minimize_tests =
+  [
+    prop "golden section finds a quadratic vertex" (QCheck2.Gen.float_range (-3.0) 3.0)
+      (fun v ->
+        let x, _ = Minimize.golden_section (fun x -> (x -. v) ** 2.0) (-5.0) 5.0 in
+        Float.abs (x -. v) < 1e-5);
+    prop "brent finds a quadratic vertex" (QCheck2.Gen.float_range (-3.0) 3.0) (fun v ->
+        let x, _ = Minimize.brent (fun x -> (x -. v) ** 2.0) (-5.0) 5.0 in
+        Float.abs (x -. v) < 1e-5);
+    u "grid_then_golden escapes a local minimum" (fun () ->
+        (* f has a shallow local min near x = -1.5 and global at x = 2. *)
+        let f x = Float.min (((x +. 1.5) ** 2.0) +. 0.5) ((x -. 2.0) ** 2.0) in
+        let x, _ = Minimize.grid_then_golden ~samples:40 f (-4.0) 4.0 in
+        Test_util.check_rel "global" ~rel:1e-3 2.0 x);
+    u "coordinate descent on a separable quadratic" (fun () ->
+        let f x = ((x.(0) -. 1.0) ** 2.0) +. ((x.(1) +. 2.0) ** 2.0) in
+        let x, fx =
+          Minimize.coordinate_descent ~f ~lower:[| -5.0; -5.0 |] ~upper:[| 5.0; 5.0 |]
+            [| 0.0; 0.0 |]
+        in
+        Alcotest.(check bool) "x0" true (Float.abs (x.(0) -. 1.0) < 1e-3);
+        Alcotest.(check bool) "x1" true (Float.abs (x.(1) +. 2.0) < 1e-3);
+        Alcotest.(check bool) "f" true (fx < 1e-5));
+  ]
+
+let interp_tests =
+  [
+    u "linear interpolation hits nodes and midpoints" (fun () ->
+        let xs = [| 0.0; 1.0; 2.0 |] and ys = [| 0.0; 10.0; 0.0 |] in
+        Test_util.check_float "node" 10.0 (Interp.linear xs ys 1.0);
+        Test_util.check_float "mid" 5.0 (Interp.linear xs ys 0.5));
+    u "linear clamps outside the table" (fun () ->
+        let xs = [| 0.0; 1.0 |] and ys = [| 3.0; 4.0 |] in
+        Test_util.check_float "below" 3.0 (Interp.linear xs ys (-1.0));
+        Test_util.check_float "above" 4.0 (Interp.linear xs ys 2.0));
+    u "non-increasing abscissae raise" (fun () ->
+        Alcotest.check_raises "order"
+          (Invalid_argument "Interp.linear: abscissae must be strictly increasing") (fun () ->
+            ignore (Interp.linear [| 0.0; 0.0 |] [| 1.0; 2.0 |] 0.5)));
+    prop "spline reproduces a straight line" (QCheck2.Gen.float_range 0.1 5.0) (fun slope ->
+        let xs = Vec.linspace 0.0 4.0 9 in
+        let ys = Array.map (fun x -> slope *. x) xs in
+        let sp = Interp.cubic_spline xs ys in
+        Float.abs (Interp.spline_eval sp 1.37 -. (slope *. 1.37)) < 1e-9);
+    u "spline interpolates sin within 1e-3" (fun () ->
+        let xs = Vec.linspace 0.0 Float.pi 21 in
+        let ys = Array.map sin xs in
+        let sp = Interp.cubic_spline xs ys in
+        Test_util.check_rel "sin(1)" ~rel:1e-3 (sin 1.0) (Interp.spline_eval sp 1.0));
+    u "spline derivative approximates cos" (fun () ->
+        let xs = Vec.linspace 0.0 Float.pi 41 in
+        let ys = Array.map sin xs in
+        let sp = Interp.cubic_spline xs ys in
+        Test_util.check_rel "cos(1)" ~rel:1e-2 (cos 1.0) (Interp.spline_derivative sp 1.0));
+    u "crossings finds both edges of a pulse" (fun () ->
+        let xs = [| 0.0; 1.0; 2.0; 3.0 |] and ys = [| 0.0; 1.0; 1.0; 0.0 |] in
+        match Interp.crossings xs ys 0.5 with
+        | [ a; b ] ->
+          Test_util.check_float "rise" 0.5 a;
+          Test_util.check_float "fall" 2.5 b
+        | other -> Alcotest.failf "expected 2 crossings, got %d" (List.length other));
+    u "search brackets its argument" (fun () ->
+        let xs = [| 0.0; 1.0; 4.0; 9.0 |] in
+        Alcotest.(check int) "bracket" 1 (Interp.search xs 2.0));
+  ]
+
+let integrate_tests =
+  [
+    u "trapezoid is exact on a line" (fun () ->
+        let xs = Vec.linspace 0.0 2.0 5 in
+        let ys = Array.map (fun x -> (3.0 *. x) +. 1.0) xs in
+        Test_util.check_rel "area" ~rel:1e-12 8.0 (Integrate.trapezoid_samples xs ys));
+    u "simpson is exact on a cubic" (fun () ->
+        Test_util.check_rel "x^3" ~rel:1e-12 4.0 (Integrate.simpson (fun x -> x ** 3.0) 0.0 2.0));
+    u "adaptive simpson integrates exp" (fun () ->
+        Test_util.check_rel "e - 1" ~rel:1e-9 (exp 1.0 -. 1.0)
+          (Integrate.adaptive_simpson exp 0.0 1.0));
+    u "cumulative trapezoid ends at the total" (fun () ->
+        let xs = Vec.linspace 0.0 1.0 11 in
+        let ys = Array.map (fun x -> x) xs in
+        let c = Integrate.cumulative_trapezoid xs ys in
+        Test_util.check_float "start" 0.0 c.(0);
+        Test_util.check_rel "end" ~rel:1e-9 (Integrate.trapezoid_samples xs ys) c.(10));
+  ]
+
+let grid_tests =
+  [
+    u "geometric grid grows by the ratio" (fun () ->
+        let g = Grid.geometric 0.0 10.0 ~h0:1.0 ~ratio:1.5 in
+        Test_util.check_rel "second step" ~rel:1e-9 1.5 ((g.(2) -. g.(1)) /. (g.(1) -. g.(0))));
+    u "refined grid covers the interval with fine spacing at centres" (fun () ->
+        let g = Grid.refined_around 0.0 100e-9 ~centers:[ 50e-9 ] ~h_min:1e-9 ~h_max:10e-9 in
+        Test_util.check_float "start" 0.0 g.(0);
+        Test_util.check_float "end" 100e-9 g.(Array.length g - 1);
+        let i = ref 0 in
+        Array.iteri (fun k x -> if Float.abs (x -. 50e-9) < Float.abs (g.(!i) -. 50e-9) then i := k) g;
+        let h_local = g.(!i + 1) -. g.(!i) in
+        Alcotest.(check bool) "fine at centre" true (h_local < 3e-9));
+    u "spacings of a refined grid are bounded" (fun () ->
+        let g = Grid.refined_around 0.0 1.0 ~centers:[ 0.3 ] ~h_min:0.01 ~h_max:0.2 in
+        Array.iter
+          (fun h -> Test_util.check_in_range "h" ~lo:0.005 ~hi:0.30 h)
+          (Grid.spacings g));
+    u "concat_unique merges and dedups" (fun () ->
+        let g = Grid.concat_unique [| 0.0; 1.0; 2.0 |] [| 1.0; 3.0 |] in
+        Alcotest.(check int) "length" 4 (Array.length g);
+        Test_util.check_increasing "merged" g);
+    u "midpoints" (fun () ->
+        let m = Grid.midpoints [| 0.0; 2.0; 6.0 |] in
+        Test_util.check_float "m0" 1.0 m.(0);
+        Test_util.check_float "m1" 4.0 m.(1));
+  ]
+
+let stats_tests =
+  [
+    u "mean and stddev of a known set" (fun () ->
+        let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+        Test_util.check_float "mean" 5.0 (Stats.mean xs);
+        Test_util.check_rel "stddev" ~rel:1e-9 2.138089935 (Stats.stddev xs));
+    prop "linear regression recovers a noiseless line"
+      QCheck2.Gen.(pair (float_range (-5.0) 5.0) (float_range (-5.0) 5.0))
+      (fun (m, c) ->
+        let xs = Vec.linspace 0.0 10.0 20 in
+        let ys = Array.map (fun x -> (m *. x) +. c) xs in
+        let m', c' = Stats.linear_regression xs ys in
+        Float.abs (m -. m') < 1e-9 && Float.abs (c -. c') < 1e-8);
+    u "correlation of an exact line is 1" (fun () ->
+        let xs = Vec.linspace 0.0 1.0 10 in
+        let ys = Array.map (fun x -> 2.0 *. x) xs in
+        Test_util.check_rel "corr" ~rel:1e-9 1.0 (Stats.correlation xs ys));
+    u "correlation of an anti-line is -1" (fun () ->
+        let xs = Vec.linspace 0.0 1.0 10 in
+        let ys = Array.map (fun x -> -.x) xs in
+        Test_util.check_rel "corr" ~rel:1e-9 (-1.0) (Stats.correlation xs ys));
+    u "geometric mean ratio of a geometric series" (fun () ->
+        Test_util.check_rel "ratio" ~rel:1e-12 0.8
+          (Stats.geometric_mean_ratio [| 1.0; 0.8; 0.64; 0.512 |]));
+    u "min and max" (fun () ->
+        let xs = [| 3.0; -1.0; 4.0 |] in
+        Test_util.check_float "min" (-1.0) (Stats.minimum xs);
+        Test_util.check_float "max" 4.0 (Stats.maximum xs));
+  ]
+
+let newton_tests =
+  [
+    u "solves a 2x2 nonlinear system" (fun () ->
+        (* x^2 + y^2 = 4, x = y -> x = y = sqrt 2. *)
+        let f x = [| (x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 4.0; x.(0) -. x.(1) |] in
+        let jacobian x =
+          [| [| 2.0 *. x.(0); 2.0 *. x.(1) |]; [| 1.0; -1.0 |] |]
+        in
+        let r = Newton.solve ~f ~jacobian [| 1.0; 2.0 |] in
+        Alcotest.(check bool) "converged" true r.Newton.converged;
+        Test_util.check_rel "x" ~rel:1e-8 (sqrt 2.0) r.Newton.x.(0));
+    u "reports non-convergence on a rootless problem" (fun () ->
+        let f x = [| (x.(0) *. x.(0)) +. 1.0 |] in
+        let jacobian x = [| [| 2.0 *. x.(0) |] |] in
+        let r = Newton.solve ~max_iter:20 ~f ~jacobian [| 3.0 |] in
+        Alcotest.(check bool) "not converged" true (not r.Newton.converged));
+    u "max_step clamps the update" (fun () ->
+        let f x = [| x.(0) -. 100.0 |] in
+        let jacobian _ = [| [| 1.0 |] |] in
+        let r = Newton.solve ~max_iter:3 ~max_step:1.0 ~f ~jacobian [| 0.0 |] in
+        Alcotest.(check bool) "still far" true (r.Newton.x.(0) <= 3.0 +. 1e-9));
+  ]
+
+let suite =
+  [
+    ("numerics.vec", vec_tests);
+    ("numerics.matrix", matrix_tests);
+    ("numerics.tridiag", tridiag_tests);
+    ("numerics.banded", banded_tests);
+    ("numerics.sparse", sparse_tests);
+    ("numerics.root", root_tests);
+    ("numerics.minimize", minimize_tests);
+    ("numerics.interp", interp_tests);
+    ("numerics.integrate", integrate_tests);
+    ("numerics.grid", grid_tests);
+    ("numerics.stats", stats_tests);
+    ("numerics.newton", newton_tests);
+  ]

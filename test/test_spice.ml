@@ -1,0 +1,259 @@
+open Subscale
+module N = Spice.Netlist
+module Mna = Spice.Mna
+module Dcop = Spice.Dcop
+module Dcsweep = Spice.Dcsweep
+module Transient = Spice.Transient
+module W = Spice.Waveform
+
+let u = Test_util.case
+let prop = Test_util.prop
+
+let phys90 = List.hd Device.Params.paper_table2
+let nfet = Device.Compact.nfet phys90
+
+let netlist_tests =
+  [
+    u "dc waveform is constant" (fun () ->
+        Test_util.check_float "dc" 3.3 (N.waveform_value (N.Dc 3.3) 42.0));
+    u "pulse waveform shape" (fun () ->
+        let w = N.Pulse { low = 0.0; high = 1.0; delay = 1.0; rise = 1.0; fall = 1.0;
+                          width = 2.0; period = 10.0 } in
+        Test_util.check_float "before" 0.0 (N.waveform_value w 0.5);
+        Test_util.check_float "mid rise" 0.5 (N.waveform_value w 1.5);
+        Test_util.check_float "high" 1.0 (N.waveform_value w 3.0);
+        Test_util.check_float "mid fall" 0.5 (N.waveform_value w 4.5);
+        Test_util.check_float "low again" 0.0 (N.waveform_value w 6.0);
+        Test_util.check_float "periodic" 1.0 (N.waveform_value w 13.0));
+    u "pwl interpolates and clamps" (fun () ->
+        let w = N.Pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, 2.0) ] in
+        Test_util.check_float "mid" 1.0 (N.waveform_value w 0.5);
+        Test_util.check_float "flat" 2.0 (N.waveform_value w 2.0);
+        Test_util.check_float "after" 2.0 (N.waveform_value w 9.0));
+    u "named nodes are deduplicated" (fun () ->
+        let c = N.create () in
+        let a = N.node c "x" and b = N.node c "x" and d = N.node c "y" in
+        Alcotest.(check int) "same" a b;
+        Alcotest.(check bool) "distinct" true (a <> d));
+    u "node_name round trips" (fun () ->
+        let c = N.create () in
+        let a = N.node c "alpha" in
+        Alcotest.(check string) "name" "alpha" (N.node_name c a);
+        Alcotest.(check string) "ground" "gnd" (N.node_name c 0));
+    u "element accessors preserve order" (fun () ->
+        let c = N.create () in
+        let n1 = N.node c "n1" in
+        N.add c (N.Voltage_source { name = "V1"; plus = n1; minus = 0; wave = N.Dc 1.0 });
+        N.add c (N.Capacitor { plus = n1; minus = 0; farads = 1e-12 });
+        N.add c (N.Voltage_source { name = "V2"; plus = n1; minus = 0; wave = N.Dc 2.0 });
+        Alcotest.(check (list string)) "sources" [ "V1"; "V2" ]
+          (List.map (fun (n, _, _, _) -> n) (N.voltage_sources c));
+        Alcotest.(check int) "caps" 1 (List.length (N.capacitors c)));
+  ]
+
+(* A resistive divider: V -- R1 -- mid -- R2 -- gnd. *)
+let divider v r1 r2 =
+  let c = N.create () in
+  let top = N.node c "top" and mid = N.node c "mid" in
+  N.add c (N.Voltage_source { name = "V"; plus = top; minus = 0; wave = N.Dc v });
+  N.add c (N.Resistor { plus = top; minus = mid; ohms = r1 });
+  N.add c (N.Resistor { plus = mid; minus = 0; ohms = r2 });
+  (c, mid)
+
+let mna_tests =
+  [
+    prop "voltage divider solves exactly"
+      QCheck2.Gen.(triple (float_range 0.5 5.0) (float_range 100.0 1e5) (float_range 100.0 1e5))
+      (fun (v, r1, r2) ->
+        let c, mid = divider v r1 r2 in
+        let sys = Mna.build c in
+        let x = Dcop.solve sys in
+        let expected = v *. r2 /. (r1 +. r2) in
+        Float.abs (Mna.voltage sys x mid -. expected) < 1e-6 *. v);
+    u "source branch current is -V/R (current flows out of +)" (fun () ->
+        let c, _ = divider 1.0 500.0 500.0 in
+        let sys = Mna.build c in
+        let x = Dcop.solve sys in
+        Test_util.check_rel "i" ~rel:1e-6 (-1e-3) (Mna.source_current sys x "V"));
+    u "current source through a resistor" (fun () ->
+        let c = N.create () in
+        let n1 = N.node c "n1" in
+        N.add c (N.Current_source { plus = 0; minus = n1; amps = 1e-3 });
+        N.add c (N.Resistor { plus = n1; minus = 0; ohms = 1000.0 });
+        let sys = Mna.build c in
+        let x = Dcop.solve sys in
+        (* 1 mA pushed into n1 through 1 kOhm -> 1 V. *)
+        Test_util.check_rel "v" ~rel:1e-6 1.0 (Mna.voltage sys x n1));
+    u "floating node settles to ground through gmin" (fun () ->
+        let c = N.create () in
+        let n1 = N.node c "float" in
+        N.add c (N.Capacitor { plus = n1; minus = 0; farads = 1e-15 });
+        let sys = Mna.build c in
+        let x = Dcop.solve sys in
+        Test_util.check_float ~tol:1e-6 "v" 0.0 (Mna.voltage sys x n1));
+    u "overrides replace a source value" (fun () ->
+        let c, mid = divider 1.0 1000.0 1000.0 in
+        let sys = Mna.build c in
+        let x = Dcop.solve ~overrides:[ ("V", 2.0) ] sys in
+        Test_util.check_rel "v" ~rel:1e-6 1.0 (Mna.voltage sys x mid));
+    u "unknown source name raises Not_found" (fun () ->
+        let c, _ = divider 1.0 1000.0 1000.0 in
+        let sys = Mna.build c in
+        let x = Dcop.solve sys in
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (Mna.source_current sys x "nope")));
+  ]
+
+let inverter_fixture vdd =
+  let pair = Circuits.Inverter.pair_of_physical phys90 in
+  Circuits.Inverter.dc pair ~vdd
+
+let dcop_tests =
+  [
+    u "diode-connected NFET biases below the rail" (fun () ->
+        let c = N.create () in
+        let d = N.node c "d" in
+        N.add c (N.Current_source { plus = 0; minus = d; amps = 1e-7 });
+        N.add c (N.Nmos { dev = nfet; width = 1e-6; drain = d; gate = d; source = 0 });
+        let sys = Mna.build c in
+        let x = Dcop.solve sys in
+        let v = Mna.voltage sys x d in
+        Test_util.check_in_range "diode v" ~lo:0.05 ~hi:0.8 v;
+        (* The device must actually carry the injected current. *)
+        Test_util.check_rel "kcl" ~rel:1e-3 1e-7
+          (1e-6 *. Device.Iv_model.id nfet ~vgs:v ~vds:v));
+    u "inverter operating point converges at mid-rail input" (fun () ->
+        let fx = inverter_fixture 0.25 in
+        let sys = Mna.build fx.Circuits.Inverter.circuit in
+        let x = Dcop.solve ~overrides:[ ("VIN", 0.125) ] sys in
+        Test_util.check_in_range "vout" ~lo:0.0 ~hi:0.25
+          (Mna.voltage sys x fx.Circuits.Inverter.out_node));
+  ]
+
+let dcsweep_tests =
+  [
+    u "inverter VTC is monotone decreasing rail to rail" (fun () ->
+        let fx = inverter_fixture 0.25 in
+        let sys = Mna.build fx.Circuits.Inverter.circuit in
+        let vin = Numerics.Vec.linspace 0.0 0.25 26 in
+        let sweep = Dcsweep.run sys ~source:"VIN" ~values:vin in
+        let vout = Dcsweep.probe sys sweep ~node:fx.Circuits.Inverter.out_node in
+        Test_util.check_rel "high rail" ~rel:0.02 0.25 vout.(0);
+        Test_util.check_in_range "low rail" ~lo:(-0.001) ~hi:0.005 vout.(25);
+        Array.iteri (fun i v -> if i > 0 then
+          Alcotest.(check bool) "monotone" true (v <= vout.(i - 1) +. 1e-9)) vout);
+    u "empty sweep is rejected" (fun () ->
+        let fx = inverter_fixture 0.25 in
+        let sys = Mna.build fx.Circuits.Inverter.circuit in
+        Alcotest.check_raises "empty" (Invalid_argument "Dcsweep.run: empty sweep")
+          (fun () -> ignore (Dcsweep.run sys ~source:"VIN" ~values:[||])));
+  ]
+
+(* RC low-pass driven by a step: exact solution v(t) = V (1 - e^{-t/RC}). *)
+let rc_step ~r ~cap ~v ~t_stop ~steps =
+  let c = N.create () in
+  let top = N.node c "in" and out = N.node c "out" in
+  N.add c
+    (N.Voltage_source
+       { name = "V"; plus = top; minus = 0;
+         wave = N.Pwl [ (0.0, 0.0); (1e-15, v) ] });
+  N.add c (N.Resistor { plus = top; minus = out; ohms = r });
+  N.add c (N.Capacitor { plus = out; minus = 0; farads = cap });
+  let sys = Mna.build c in
+  let result = Transient.run sys ~t_stop ~steps in
+  (sys, out, result)
+
+let transient_tests =
+  [
+    u "RC step response matches the analytic exponential" (fun () ->
+        let r = 1e3 and cap = 1e-9 and v = 1.0 in
+        let tau = r *. cap in
+        let _, out, result = rc_step ~r ~cap ~v ~t_stop:(5.0 *. tau) ~steps:500 in
+        let times = result.Transient.times in
+        let vo = Transient.voltage_of result out in
+        Array.iteri
+          (fun i t ->
+            let expected = v *. (1.0 -. exp (-.t /. tau)) in
+            if Float.abs (vo.(i) -. expected) > 5e-3 then
+              Alcotest.failf "t=%.3e: got %.4f expected %.4f" t vo.(i) expected)
+          times);
+    u "trapezoidal integration converges with step refinement" (fun () ->
+        let r = 1e3 and cap = 1e-9 and v = 1.0 in
+        let tau = r *. cap in
+        let err steps =
+          let _, out, result = rc_step ~r ~cap ~v ~t_stop:tau ~steps in
+          let vo = Transient.voltage_of result out in
+          let t_end = result.Transient.times.(Array.length vo - 1) in
+          Float.abs (vo.(Array.length vo - 1) -. (v *. (1.0 -. exp (-.t_end /. tau))))
+        in
+        let e1 = err 50 and e2 = err 100 in
+        Alcotest.(check bool) "second order" true (e2 < e1 /. 2.5));
+    u "supply energy of charging a capacitor is C V^2" (fun () ->
+        let r = 1e3 and cap = 1e-9 and v = 1.0 in
+        let tau = r *. cap in
+        let _, _, result = rc_step ~r ~cap ~v ~t_stop:(12.0 *. tau) ~steps:1200 in
+        (* Source delivers C V^2: half stored, half burned in R. *)
+        Test_util.check_rel "energy" ~rel:0.01 (cap *. v *. v)
+          (Transient.energy_from_source result ~name:"V" ~vdd:v));
+    u "inverter output falls when a pulse arrives" (fun () ->
+        let pair = Circuits.Inverter.pair_of_physical phys90 in
+        let vdd = 0.25 in
+        let tp = Circuits.Chain.estimated_stage_delay pair (Circuits.Inverter.balanced_sizing ()) ~vdd in
+        let input = N.Pulse { low = 0.0; high = vdd; delay = 5.0 *. tp; rise = tp;
+                              fall = tp; width = 1000.0 *. tp; period = 4000.0 *. tp } in
+        let fx = Circuits.Inverter.chain_fixture ~stages:1 pair ~vdd ~input in
+        let sys = Mna.build fx.Circuits.Inverter.circuit in
+        let result = Transient.run sys ~t_stop:(60.0 *. tp) ~steps:300 in
+        let vo = Transient.voltage_of result fx.Circuits.Inverter.stage_nodes.(1) in
+        Test_util.check_rel "starts high" ~rel:0.05 vdd vo.(0);
+        Test_util.check_in_range "ends low" ~lo:(-0.01) ~hi:(0.1 *. vdd)
+          vo.(Array.length vo - 1));
+    u "invalid step parameters are rejected" (fun () ->
+        let c, _ = divider 1.0 1e3 1e3 in
+        let sys = Mna.build c in
+        Alcotest.check_raises "t_stop" (Invalid_argument "Transient.run: t_stop must be positive")
+          (fun () -> ignore (Transient.run sys ~t_stop:0.0 ~steps:10)));
+  ]
+
+let waveform_tests =
+  [
+    u "crossings of a sine find all level crossings" (fun () ->
+        let times = Numerics.Vec.linspace 0.0 (2.0 *. Float.pi) 400 in
+        let values = Array.map sin times in
+        let ups = W.crossings ~times ~values ~level:0.0 W.Rising in
+        let downs = W.crossings ~times ~values ~level:0.0 W.Falling in
+        Alcotest.(check int) "rising" 1 (List.length ups);
+        Alcotest.(check int) "falling" 1 (List.length downs));
+    u "first_crossing respects the after bound" (fun () ->
+        let times = [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+        let values = [| 0.0; 1.0; 0.0; 1.0; 0.0 |] in
+        (match W.first_crossing ~after:1.5 ~times ~values ~level:0.5 W.Rising with
+         | Some t -> Test_util.check_float "second edge" 2.5 t
+         | None -> Alcotest.fail "expected a crossing"));
+    u "propagation delay between shifted ramps" (fun () ->
+        let times = Numerics.Vec.linspace 0.0 10.0 101 in
+        let input = Array.map (fun t -> if t > 2.0 then 1.0 else t /. 2.0) times in
+        let output = Array.map (fun t -> if t > 5.0 then 1.0 else if t < 3.0 then 0.0 else (t -. 3.0) /. 2.0) times in
+        (match W.propagation_delay ~times ~input ~output ~level:0.5 ~input_edge:W.Rising with
+         | Some d -> Test_util.check_rel "delay" ~rel:1e-6 3.0 d
+         | None -> Alcotest.fail "expected a delay"));
+    u "average of a linear ramp is its midpoint" (fun () ->
+        let times = Numerics.Vec.linspace 0.0 2.0 21 in
+        let values = Array.map (fun t -> 3.0 *. t) times in
+        Test_util.check_rel "avg" ~rel:1e-9 3.0 (W.average ~times ~values));
+    u "slice_average over a window of a step" (fun () ->
+        let times = [| 0.0; 1.0; 1.0001; 3.0 |] in
+        let values = [| 0.0; 0.0; 2.0; 2.0 |] in
+        Test_util.check_rel "tail avg" ~rel:1e-3 2.0
+          (W.slice_average ~times ~values ~t0:1.5 ~t1:3.0));
+  ]
+
+let suite =
+  [
+    ("spice.netlist", netlist_tests);
+    ("spice.mna", mna_tests);
+    ("spice.dcop", dcop_tests);
+    ("spice.dcsweep", dcsweep_tests);
+    ("spice.transient", transient_tests);
+    ("spice.waveform", waveform_tests);
+  ]

@@ -1,0 +1,38 @@
+(* Shared helpers for the test suites. *)
+
+let check_float ?(tol = 1e-9) name expected actual =
+  Alcotest.(check (float tol)) name expected actual
+
+(* Relative closeness: |a - b| <= rel * max(|a|, |b|). *)
+let check_rel name ~rel expected actual =
+  let scale = Float.max (Float.abs expected) (Float.abs actual) in
+  if Float.abs (expected -. actual) > rel *. scale then
+    Alcotest.failf "%s: expected %.6g within %.1f%%, got %.6g" name expected (100.0 *. rel)
+      actual
+
+let check_in_range name ~lo ~hi actual =
+  if actual < lo || actual > hi then
+    Alcotest.failf "%s: %.6g outside [%.6g, %.6g]" name actual lo hi
+
+let check_increasing name xs =
+  Array.iteri
+    (fun i x ->
+      if i > 0 && xs.(i - 1) >= x then
+        Alcotest.failf "%s: not strictly increasing at index %d (%.6g >= %.6g)" name i
+          xs.(i - 1) x)
+    xs
+
+let check_decreasing name xs =
+  Array.iteri
+    (fun i x ->
+      if i > 0 && xs.(i - 1) <= x then
+        Alcotest.failf "%s: not strictly decreasing at index %d (%.6g <= %.6g)" name i
+          xs.(i - 1) x)
+    xs
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let prop name ?(count = 100) gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen law)
