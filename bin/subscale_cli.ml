@@ -2,11 +2,30 @@
 
    subcommands:
      run <ids>      reproduce tables/figures (table1..fig12 or "all")
+     check          static-analysis pass over devices, circuits and designs
      device         print compact-model characteristics for one node
      tcad           run the 2-D TCAD characterization for one node (slower)
      sweep          dump a compact-model Id-Vg sweep as CSV *)
 
 open Cmdliner
+module Diag = Subscale.Check.Diagnostic
+
+(* Print the diagnostics for one target and exit 1 on errors: every
+   subcommand validates its inputs through this before running a solver. *)
+let gate_on_errors ~what diags =
+  List.iter (fun d -> Printf.eprintf "%s: %s\n" what (Diag.to_string d)) (Diag.sort diags);
+  if Diag.has_errors diags then begin
+    Printf.eprintf "%s: %s -- refusing to simulate\n" what (Diag.summary diags);
+    exit 1
+  end
+
+let validate_device ~what phys pair =
+  gate_on_errors ~what (Subscale.Check.physical phys);
+  let vdd = phys.Subscale.Device.Params.vdd in
+  let nfet = pair.Subscale.Circuits.Inverter.nfet in
+  let pfet = pair.Subscale.Circuits.Inverter.pfet in
+  gate_on_errors ~what (Subscale.Check.compact nfet ~vdd);
+  gate_on_errors ~what (Subscale.Check.compact pfet ~vdd)
 
 let setup_logs level =
   Fmt_tty.setup_std_outputs ();
@@ -159,6 +178,7 @@ let select_device node strategy =
 let device_cmd =
   let run () node strategy =
     let roadmap_node, phys, pair = select_device node strategy in
+    validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     let e =
       Subscale.Scaling.Strategy.evaluate
         (if strategy = "super" then Subscale.Scaling.Strategy.Super_vth
@@ -194,8 +214,11 @@ let tcad_cmd =
     let _, _, pair = select_device node strategy in
     let nfet = pair.Subscale.Circuits.Inverter.nfet in
     let desc = Subscale.Device.Compact.to_tcad_description nfet in
+    let what = Printf.sprintf "%d nm %s TCAD deck" node strategy in
+    gate_on_errors ~what (Subscale.Check.description desc);
     Printf.printf "building 2-D device and running Id-Vg sweeps (this takes a few seconds)...\n%!";
     let dev = Subscale.Tcad.Structure.build desc in
+    gate_on_errors ~what (Subscale.Check.structure dev);
     let ch = Subscale.Tcad.Extract.characterize ~vdd:0.9 dev in
     Printf.printf "mesh            : %d x %d nodes\n" dev.Subscale.Tcad.Structure.mesh.Subscale.Tcad.Mesh.nx
       dev.Subscale.Tcad.Structure.mesh.Subscale.Tcad.Mesh.ny;
@@ -217,7 +240,8 @@ let sweep_cmd =
     Arg.(value & opt float 0.25 & info [ "vd" ] ~docv:"V" ~doc)
   in
   let run () node strategy vd =
-    let _, _, pair = select_device node strategy in
+    let _, phys, pair = select_device node strategy in
+    validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     let nfet = pair.Subscale.Circuits.Inverter.nfet in
     print_endline "vgs,id_per_um";
     Array.iter
@@ -238,7 +262,8 @@ let out_arg ~default =
 
 let liberty_cmd =
   let run () node strategy vdd path =
-    let _, _, pair = select_device node strategy in
+    let _, phys, pair = select_device node strategy in
+    validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     Printf.printf "characterizing INV/NAND2/NOR2 at %.0f mV...\n%!" (1000.0 *. vdd);
     let lib = Subscale.Sta.Cell_lib.characterize pair ~vdd in
     let name = Printf.sprintf "subscale_%dnm_%s_%.0fmv" node strategy (1000.0 *. vdd) in
@@ -271,6 +296,7 @@ let export_cmd =
         Printf.eprintf "unknown circuit %S (inverter, chain, adder)\n" other;
         exit 2
     in
+    gate_on_errors ~what:(Printf.sprintf "%s deck" circuit) (Subscale.Check.netlist netlist);
     let title = Printf.sprintf "%s, %d nm %s device, Vdd=%.3f V" circuit node strategy vdd in
     Subscale.Spice.Export.write ~path ~title netlist;
     Printf.printf "wrote %s\n" path
@@ -297,6 +323,7 @@ let verilog_cmd =
     Array.iter (Subscale.Sta.Design.mark_output d) sums;
     Subscale.Sta.Design.mark_output d cout;
     let name = Printf.sprintf "rca%d" bits in
+    gate_on_errors ~what:name (Subscale.Check.design d);
     let oc = open_out path in
     output_string oc (Subscale.Sta.Verilog.to_verilog ~module_name:name d);
     close_out oc;
@@ -306,9 +333,202 @@ let verilog_cmd =
   Cmd.v (Cmd.info "verilog" ~doc)
     Term.(const run $ log_term $ bits_arg $ out_arg ~default:"adder.v")
 
+(* --- subscale check: the whole static-analysis pass as a subcommand --- *)
+
+(* Run every checker over the shipped devices, generated circuits and the
+   STA design; print one line per target (plus any diagnostics) and return
+   the full diagnostic list for the exit code. *)
+let check_targets ~with_tcad =
+  let all = ref [] in
+  let target what diags =
+    all := diags @ !all;
+    if diags = [] then Printf.printf "  ok    %s\n" what
+    else begin
+      let e, _, _ = Diag.count diags in
+      Printf.printf "  %-5s %s (%s)\n" (if e > 0 then "FAIL" else "warn") what
+        (Diag.summary diags);
+      List.iter (fun d -> Printf.printf "        %s\n" (Diag.to_string d)) (Diag.sort diags)
+    end
+  in
+  print_endline "devices:";
+  List.iter
+    (fun node ->
+      List.iter
+        (fun strategy ->
+          let _, phys, pair = select_device node strategy in
+          let what = Printf.sprintf "%d nm %s" node strategy in
+          let vdd = phys.Subscale.Device.Params.vdd in
+          let nfet = pair.Subscale.Circuits.Inverter.nfet in
+          let pfet = pair.Subscale.Circuits.Inverter.pfet in
+          target (what ^ " physical parameters") (Subscale.Check.physical phys);
+          target (what ^ " nfet Id model") (Subscale.Check.compact nfet ~vdd);
+          target (what ^ " pfet Id model") (Subscale.Check.compact pfet ~vdd);
+          let desc = Subscale.Device.Compact.to_tcad_description nfet in
+          target (what ^ " TCAD deck") (Subscale.Check.description desc);
+          if with_tcad then
+            target (what ^ " TCAD mesh")
+              (Subscale.Check.structure (Subscale.Tcad.Structure.build desc)))
+        [ "super"; "sub" ])
+    [ 90; 65; 45; 32 ];
+  print_endline "circuits (90 nm sub-Vth device):";
+  let _, phys, pair = select_device 90 "sub" in
+  let vdd = phys.Subscale.Device.Params.vdd in
+  let net what c = target what (Subscale.Check.netlist c) in
+  net "inverter VTC deck"
+    (Subscale.Circuits.Inverter.dc pair ~vdd).Subscale.Circuits.Inverter.circuit;
+  net "4-stage FO1 chain"
+    (Subscale.Circuits.Inverter.chain_fixture pair ~vdd
+       ~input:(Subscale.Spice.Netlist.Dc 0.0))
+      .Subscale.Circuits.Inverter.circuit;
+  net "tapered buffer chain"
+    (Subscale.Circuits.Inverter.tapered_chain_fixture ~scales:[| 1.0; 2.0; 4.0 |] pair
+       ~vdd ~input:(Subscale.Spice.Netlist.Dc 0.0) ~final_load:1e-15)
+      .Subscale.Circuits.Inverter.circuit;
+  net "7-stage ring oscillator"
+    (Subscale.Circuits.Ring.build pair ~vdd).Subscale.Circuits.Ring.circuit;
+  net "NAND2 cell" (Subscale.Circuits.Stdcell.nand2 pair ~vdd).Subscale.Circuits.Stdcell.circuit;
+  net "NOR2 cell" (Subscale.Circuits.Stdcell.nor2 pair ~vdd).Subscale.Circuits.Stdcell.circuit;
+  net "4-bit ripple-carry adder"
+    (Subscale.Circuits.Adder.ripple_carry pair ~vdd ~bits:4).Subscale.Circuits.Adder.circuit;
+  print_endline "designs:";
+  let d = Subscale.Sta.Design.create () in
+  let a = Array.init 8 (fun _ -> Subscale.Sta.Design.fresh_net d) in
+  let b = Array.init 8 (fun _ -> Subscale.Sta.Design.fresh_net d) in
+  let cin = Subscale.Sta.Design.fresh_net d in
+  Array.iter (Subscale.Sta.Design.mark_input d) a;
+  Array.iter (Subscale.Sta.Design.mark_input d) b;
+  Subscale.Sta.Design.mark_input d cin;
+  let sums, cout = Subscale.Sta.Design.ripple_carry_adder d ~a ~b ~cin in
+  Array.iter (Subscale.Sta.Design.mark_output d) sums;
+  Subscale.Sta.Design.mark_output d cout;
+  target "rca8 gate-level design" (Subscale.Check.design d);
+  !all
+
+(* Crafted bad decks, one per netlist-DRC rule class: each must raise
+   exactly its own rule (proving both detection and isolation), and a
+   shipped inverter must come back clean. *)
+let check_selftest () =
+  let module N = Subscale.Spice.Netlist in
+  let _, phys, pair = select_device 90 "sub" in
+  let nfet = pair.Subscale.Circuits.Inverter.nfet in
+  let pfet = pair.Subscale.Circuits.Inverter.pfet in
+  let deck build =
+    let c = N.create () in
+    build c;
+    c
+  in
+  let cases =
+    [ ( "dangling resistor end", "net-floating-node",
+        deck (fun c ->
+            let a = N.node c "a" and b = N.node c "b" in
+            N.add c (N.Voltage_source { name = "V1"; plus = a; minus = N.ground; wave = N.Dc 1.0 });
+            N.add c (N.Resistor { plus = a; minus = b; ohms = 1e3 })) );
+      ( "capacitor-isolated island", "net-no-dc-path",
+        deck (fun c ->
+            let a = N.node c "a" and island = N.node c "island" in
+            N.add c (N.Voltage_source { name = "V1"; plus = a; minus = N.ground; wave = N.Dc 1.0 });
+            N.add c (N.Capacitor { plus = a; minus = island; farads = 1e-15 });
+            N.add c (N.Capacitor { plus = island; minus = N.ground; farads = 1e-15 })) );
+      ( "two anti-series sources", "net-vsource-loop",
+        deck (fun c ->
+            let a = N.node c "a" in
+            N.add c (N.Voltage_source { name = "V1"; plus = a; minus = N.ground; wave = N.Dc 1.0 });
+            N.add c (N.Voltage_source { name = "V2"; plus = N.ground; minus = a; wave = N.Dc (-1.0) })) );
+      ( "negative resistance", "net-nonpositive-value",
+        deck (fun c ->
+            let a = N.node c "a" in
+            N.add c (N.Voltage_source { name = "V1"; plus = a; minus = N.ground; wave = N.Dc 1.0 });
+            N.add c (N.Resistor { plus = a; minus = N.ground; ohms = -5.0 })) );
+      ( "gate tied only to gates", "net-undriven-gate",
+        deck (fun c ->
+            let vdd = N.node c "vdd" and out = N.node c "out" and g = N.node c "g" in
+            N.add c (N.Voltage_source { name = "VDD"; plus = vdd; minus = N.ground; wave = N.Dc 1.0 });
+            N.add c (N.Nmos { dev = nfet; width = 1e-6; drain = out; gate = g; source = N.ground });
+            N.add c (N.Pmos { dev = pfet; width = 2e-6; drain = out; gate = g; source = vdd })) );
+      ( "net forced by two sources", "net-multi-driven",
+        deck (fun c ->
+            let a = N.node c "a" and b = N.node c "b" in
+            N.add c (N.Voltage_source { name = "V1"; plus = a; minus = N.ground; wave = N.Dc 1.0 });
+            N.add c (N.Voltage_source { name = "V2"; plus = a; minus = b; wave = N.Dc 0.5 });
+            N.add c (N.Resistor { plus = b; minus = N.ground; ohms = 1e3 })) );
+      ( "empty Pwl waveform", "net-bad-waveform",
+        deck (fun c ->
+            let a = N.node c "a" in
+            N.add c (N.Voltage_source { name = "V1"; plus = a; minus = N.ground; wave = N.Pwl [] });
+            N.add c (N.Resistor { plus = a; minus = N.ground; ohms = 1e3 })) ) ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun (what, rule, c) ->
+      let diags = Subscale.Check.netlist c in
+      let fired = List.exists (fun d -> d.Diag.rule = rule) diags in
+      let isolated = List.for_all (fun d -> d.Diag.rule = rule) diags in
+      if fired && isolated then Printf.printf "  ok    %-28s -> %s\n" what rule
+      else begin
+        incr failures;
+        Printf.printf "  FAIL  %-28s expected only %s, got [%s]\n" what rule
+          (String.concat "; " (List.map Diag.to_string diags))
+      end)
+    cases;
+  let clean =
+    (Subscale.Circuits.Inverter.dc pair ~vdd:phys.Subscale.Device.Params.vdd)
+      .Subscale.Circuits.Inverter.circuit
+  in
+  (match Subscale.Check.netlist clean with
+   | [] -> Printf.printf "  ok    %-28s -> clean\n" "shipped inverter deck"
+   | diags ->
+     incr failures;
+     Printf.printf "  FAIL  %-28s expected clean, got [%s]\n" "shipped inverter deck"
+       (String.concat "; " (List.map Diag.to_string diags)));
+  if !failures > 0 then begin
+    Printf.printf "selftest: %d case(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "selftest: all DRC rule classes fire and the shipped deck is clean"
+
+let check_cmd =
+  let selftest =
+    let doc =
+      "Run the checker's own test: seven crafted bad decks (one per netlist \
+       DRC rule class) must each raise exactly their rule, and a shipped \
+       inverter deck must come back clean."
+    in
+    Arg.(value & flag & info [ "selftest" ] ~doc)
+  in
+  let strict =
+    let doc = "Exit non-zero on warnings too, not only on errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let with_tcad =
+    let doc = "Also build the 2-D TCAD structures and lint their meshes (slower)." in
+    Arg.(value & flag & info [ "tcad" ] ~doc)
+  in
+  let run () selftest strict with_tcad =
+    if selftest then check_selftest ()
+    else begin
+      let all = check_targets ~with_tcad in
+      let _, w, _ = Diag.count all in
+      Printf.printf "check: %s\n" (Diag.summary all);
+      let code = Diag.exit_code all in
+      exit (if code <> 0 then code else if strict && w > 0 then 1 else 0)
+    end
+  in
+  let doc = "Static-analysis pass over shipped devices, circuits and designs" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Runs every design-rule and invariant check (device physics, compact-model \
+          monotonicity, TCAD deck/mesh, netlist DRC, STA lint) over the library's \
+          shipped inputs without invoking a solver.";
+      `P "Exit code 0 when no errors were found (warnings allowed unless \
+          $(b,--strict)), 1 when any rule reported an error." ]
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(const run $ log_term $ selftest $ strict $ with_tcad)
+
 let main =
   let doc = "Subthreshold device-scaling study (DAC 2007 reproduction)" in
   Cmd.group (Cmd.info "subscale" ~doc ~version:"1.0.0")
-    [ run_cmd; device_cmd; tcad_cmd; sweep_cmd; liberty_cmd; export_cmd; verilog_cmd ]
+    [ run_cmd; check_cmd; device_cmd; tcad_cmd; sweep_cmd; liberty_cmd; export_cmd;
+      verilog_cmd ]
 
 let () = exit (Cmd.eval main)

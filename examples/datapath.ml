@@ -16,6 +16,7 @@ let () =
 
   (* Functional check against integer arithmetic. *)
   let adder = Circuits.Adder.ripple_carry pair ~vdd ~bits in
+  Check.assert_clean ~what:"8-bit adder deck" (Check.netlist adder.Circuits.Adder.circuit);
   Printf.printf "%-24s %-10s %-8s\n" "operation" "result" "check";
   List.iter
     (fun (a, b, cin) ->

@@ -10,10 +10,12 @@ let () =
   let phys = List.hd Device.Params.paper_table2 in
   let nfet = Device.Compact.nfet phys in
   let desc = Device.Compact.to_tcad_description nfet in
+  Check.assert_clean ~what:"90 nm TCAD deck" (Check.description desc);
   Printf.printf "Building the 2-D device (Lpoly %.0f nm, Tox %.2f nm)...\n%!"
     (Physics.Constants.to_nm desc.Tcad.Structure.lpoly)
     (Physics.Constants.to_nm desc.Tcad.Structure.tox);
   let dev = Tcad.Structure.build desc in
+  Check.assert_clean ~what:"90 nm TCAD mesh" (Check.structure dev);
   Printf.printf "mesh: %d x %d nodes, metallurgical Leff = %.1f nm\n\n%!"
     dev.Tcad.Structure.mesh.Tcad.Mesh.nx dev.Tcad.Structure.mesh.Tcad.Mesh.ny
     (Physics.Constants.to_nm (Tcad.Structure.effective_channel_length dev));
@@ -39,7 +41,9 @@ let () =
     { desc with Tcad.Structure.lpoly = 1.6 *. desc.Tcad.Structure.lpoly;
       np_halo = 0.4 *. desc.Tcad.Structure.np_halo }
   in
+  Check.assert_clean ~what:"redesigned TCAD deck" (Check.description long_desc);
   let long_dev = Tcad.Structure.build long_desc in
+  Check.assert_clean ~what:"redesigned TCAD mesh" (Check.structure long_dev);
   let long_sweep = Tcad.Extract.id_vg ~points:13 ~vg_max:0.6 long_dev ~vd:0.05 in
   Printf.printf "Sub-Vth-style redesign (1.6x Lpoly, 0.4x halo): SS = %.1f mV/dec\n"
     (1000.0 *. Tcad.Extract.subthreshold_slope long_sweep);

@@ -8,7 +8,10 @@ open Subscale
 let () =
   (* 1. A device straight from the paper's Table 2 (90 nm, super-Vth). *)
   let phys = List.hd Device.Params.paper_table2 in
+  Check.assert_clean ~what:"90 nm super-Vth device" (Check.physical phys);
   let nfet = Device.Compact.nfet phys in
+  Check.assert_clean ~what:"90 nm super-Vth NFET"
+    (Check.compact nfet ~vdd:phys.Device.Params.vdd);
   Printf.printf "90 nm super-Vth NFET:\n";
   Printf.printf "  SS        = %.1f mV/dec\n" (1000.0 *. nfet.Device.Compact.ss);
   Printf.printf "  Vth(sat)  = %.0f mV\n"

@@ -11,7 +11,10 @@ open Subscale
 let measure_frequency pair ~vdd =
   let sizing = Circuits.Inverter.balanced_sizing () in
   let ring = Circuits.Ring.build ~sizing ~stages:7 pair ~vdd in
-  let sys = Spice.Mna.build ring.Circuits.Ring.circuit in
+  let sys =
+    Spice.Mna.build
+      (Check.checked_netlist ~what:"ring oscillator deck" ring.Circuits.Ring.circuit)
+  in
   let x0 = Circuits.Ring.kick ring sys in
   let tp = Circuits.Chain.estimated_stage_delay pair sizing ~vdd in
   (* Simulate long enough for several cycles of the ideal period 2 N tp. *)

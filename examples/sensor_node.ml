@@ -41,6 +41,10 @@ let () =
   let node = Scaling.Roadmap.find 32 in
   let super = Scaling.Super_vth.select_node node in
   let sub = Scaling.Sub_vth.select_node node in
+  Check.assert_clean ~what:"32 nm super-Vth device"
+    (Check.physical super.Scaling.Super_vth.phys);
+  Check.assert_clean ~what:"32 nm sub-Vth device"
+    (Check.physical sub.Scaling.Sub_vth.phys);
   Printf.printf "Energy per instruction, 32 nm node (%.0f gate-equivalents/inst):\n\n"
     gates_per_instruction;
   describe "super-Vth scaled device:" super.Scaling.Super_vth.pair node.Scaling.Roadmap.vdd;

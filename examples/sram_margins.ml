@@ -20,6 +20,20 @@ let () =
     "hold sub" "read sub";
   let supers = Scaling.Super_vth.all () in
   let subs = Scaling.Sub_vth.all () in
+  List.iter
+    (fun s ->
+      let what =
+        Printf.sprintf "%d nm super-Vth device" s.Scaling.Super_vth.node.Scaling.Roadmap.nm
+      in
+      Check.assert_clean ~what (Check.physical s.Scaling.Super_vth.phys))
+    supers;
+  List.iter
+    (fun s ->
+      let what =
+        Printf.sprintf "%d nm sub-Vth device" s.Scaling.Sub_vth.node.Scaling.Roadmap.nm
+      in
+      Check.assert_clean ~what (Check.physical s.Scaling.Sub_vth.phys))
+    subs;
   List.iter2
     (fun sup sub ->
       let hold_sup = cell_snm sup.Scaling.Super_vth.pair Circuits.Sram.Hold in

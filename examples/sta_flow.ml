@@ -47,7 +47,7 @@ let () =
     (Sta.Design.n_nets d);
 
   Printf.printf "\n3. static timing analysis...\n";
-  let report = Sta.Engine.analyze lib d in
+  let report = Sta.Engine.analyze lib (Check.checked_design ~what:"rca8" d) in
   Printf.printf "   critical path : %.2f us through %d gates (carry chain)\n"
     (1e6 *. report.Sta.Engine.critical_time)
     (List.length report.Sta.Engine.critical_path);

@@ -1,0 +1,125 @@
+(* Gate-level design lint.
+
+   [Design.topological_gates] fails with one blanket message on any broken
+   design; these rules separate the failure modes and name the nets, so a
+   generator bug is located without reading a solver backtrace.
+
+   Rule ids:
+     sta-unconnected-pin  gate input net that nothing drives
+     sta-comb-loop        gates forming a combinational cycle
+     sta-undriven-output  primary output with no driver
+     sta-dead-logic       gate whose output reaches no primary output
+     sta-no-outputs       design without primary outputs *)
+
+module D = Sta.Design
+
+let check (d : D.t) =
+  let gates = D.gates d in
+  let n = D.n_nets d in
+  let diags = ref [] in
+  let emit x = diags := x :: !diags in
+  let net_loc net = Printf.sprintf "net %d" net in
+  let inputs = D.primary_inputs d in
+  let outputs = D.primary_outputs d in
+  let driven = Array.make n false in
+  List.iter (fun (g : D.gate) -> driven.(g.D.output) <- true) gates;
+  let is_input = Array.make n false in
+  List.iter (fun i -> is_input.(i) <- true) inputs;
+
+  if outputs = [] then
+    emit
+      (Diagnostic.warning ~rule:"sta-no-outputs" ~location:"design"
+         ~hint:"mark at least one net with mark_output"
+         "design has no primary outputs; timing analysis has nothing to report");
+
+  (* sta-unconnected-pin: gate inputs that are neither primary inputs nor
+     driven by any gate.  Report once per offending net. *)
+  let reported_undriven = Hashtbl.create 8 in
+  List.iter
+    (fun (g : D.gate) ->
+      Array.iter
+        (fun i ->
+          if (not driven.(i)) && (not is_input.(i)) && not (Hashtbl.mem reported_undriven i)
+          then begin
+            Hashtbl.add reported_undriven i ();
+            emit
+              (Diagnostic.error ~rule:"sta-unconnected-pin" ~location:(net_loc i)
+                 ~hint:"drive the net with a gate or mark it as a primary input"
+                 (Printf.sprintf "input pin of a %s gate is connected to an undriven net"
+                    (Sta.Cell_lib.cell_name g.D.cell)))
+          end)
+        g.D.inputs)
+    gates;
+
+  (* sta-undriven-output. *)
+  List.iter
+    (fun o ->
+      if (not driven.(o)) && not is_input.(o) then
+        emit
+          (Diagnostic.error ~rule:"sta-undriven-output" ~location:(net_loc o)
+             ~hint:"connect a gate output (or a primary input) to the port"
+             "primary output has no driver"))
+    outputs;
+
+  (* sta-comb-loop: Kahn scheduling with undriven nets treated as ready
+     (their defect is already reported above); whatever still cannot be
+     scheduled sits on a cycle. *)
+  let ready = Array.make n false in
+  List.iter (fun i -> ready.(i) <- true) inputs;
+  Hashtbl.iter (fun i () -> ready.(i) <- true) reported_undriven;
+  let pending = ref gates and progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    let still = ref [] in
+    List.iter
+      (fun (g : D.gate) ->
+        if Array.for_all (fun i -> ready.(i)) g.D.inputs then begin
+          ready.(g.D.output) <- true;
+          progress := true
+        end
+        else still := g :: !still)
+      !pending;
+    pending := List.rev !still
+  done;
+  List.iter
+    (fun (g : D.gate) ->
+      emit
+        (Diagnostic.error ~rule:"sta-comb-loop" ~location:(net_loc g.D.output)
+           ~hint:"break the cycle with a register or re-derive the net"
+           (Printf.sprintf "%s gate sits on a combinational loop"
+              (Sta.Cell_lib.cell_name g.D.cell))))
+    !pending;
+
+  (* sta-dead-logic: reverse reachability from the primary outputs. *)
+  if outputs <> [] then begin
+    let useful = Array.make n false in
+    List.iter (fun o -> useful.(o) <- true) outputs;
+    (* Gates in reverse topological-ish order: iterate to a fixed point
+       (cheap; designs here are small and the loop is bounded by depth). *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (g : D.gate) ->
+          if useful.(g.D.output) then
+            Array.iter
+              (fun i ->
+                if not useful.(i) then begin
+                  useful.(i) <- true;
+                  changed := true
+                end)
+              g.D.inputs)
+        gates
+    done;
+    List.iter
+      (fun (g : D.gate) ->
+        if not useful.(g.D.output) then
+          emit
+            (Diagnostic.warning ~rule:"sta-dead-logic" ~location:(net_loc g.D.output)
+               ~hint:"remove the gate or route its output to a primary output"
+               (Printf.sprintf "%s gate output reaches no primary output"
+                  (Sta.Cell_lib.cell_name g.D.cell))))
+      gates
+  end;
+
+  Diagnostic.sort !diags

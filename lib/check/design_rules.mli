@@ -1,0 +1,9 @@
+(** Lint for gate-level designs ({!Sta.Design.t}).
+
+    Rules: [sta-unconnected-pin] (undriven gate-input nets),
+    [sta-comb-loop] (combinational cycles, located per gate),
+    [sta-undriven-output] (primary outputs without a driver),
+    [sta-dead-logic] (gates that reach no primary output),
+    [sta-no-outputs] (nothing marked as an output). *)
+
+val check : Sta.Design.t -> Diagnostic.t list

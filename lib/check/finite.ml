@@ -1,0 +1,30 @@
+(* Diagnostic-typed face of the numerics non-finite guard.
+
+   The guard itself lives in [Numerics.Guard] (below every solver in the
+   dependency order) so that Dcop/Transient/Poisson/Gummel can call it at
+   their entry and exit points; this module owns the policy side: turning
+   a trapped [Non_finite] into a structured diagnostic. *)
+
+let enable = Numerics.Guard.enable
+let disable = Numerics.Guard.disable
+let is_enabled = Numerics.Guard.is_enabled
+let with_guard = Numerics.Guard.with_guard
+
+let diagnostic_of_exn = function
+  | Numerics.Guard.Non_finite { origin; index; value } ->
+    let location =
+      match index with
+      | None -> origin
+      | Some i -> Printf.sprintf "%s, element %d" origin i
+    in
+    Some
+      (Diagnostic.error ~rule:"num-nonfinite" ~location
+         ~hint:"run the checker on the inputs; a malformed deck is the usual cause"
+         (Printf.sprintf "first non-finite value (%h) produced here" value))
+  | _ -> None
+
+let run f =
+  match with_guard f with
+  | v -> Ok v
+  | exception e ->
+    (match diagnostic_of_exn e with Some d -> Error d | None -> raise e)

@@ -1,0 +1,21 @@
+(** Numerics guard layer: solver entry/exit points are instrumented with
+    {!Numerics.Guard} checks that are free when disabled; this module
+    enables them and converts a trapped non-finite value into a
+    {!Diagnostic.t} naming its origin. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val with_guard : (unit -> 'a) -> 'a
+(** Run with the guard enabled, restoring the previous state; the first
+    non-finite value at an instrumented point raises
+    {!Numerics.Guard.Non_finite}. *)
+
+val diagnostic_of_exn : exn -> Diagnostic.t option
+(** [num-nonfinite] diagnostic for a {!Numerics.Guard.Non_finite};
+    [None] otherwise. *)
+
+val run : (unit -> 'a) -> ('a, Diagnostic.t) result
+(** {!with_guard}, with the trapped failure returned as a diagnostic
+    instead of an exception. *)

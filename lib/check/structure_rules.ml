@@ -1,0 +1,151 @@
+(* Built-structure checks: the compiled mesh + doping + boundary deck,
+   validated against what the Poisson/continuity discretization can
+   actually digest.
+
+   Rule ids:
+     tcad-mesh-spacing     degenerate or too-abruptly-graded mesh lines
+     tcad-aspect-ratio     control volumes too elongated for the 5-point stencil
+     tcad-contact-coverage terminals with no (or single-node) ohmic boundary
+     tcad-charge-neutrality  ohmic contact nodes where charge-neutral carrier
+                           densities are ill-defined or change type *)
+
+module S = Tcad.Structure
+module M = Tcad.Mesh
+
+(* Thresholds sit above what the shipped 90..32 nm builders produce
+   (growth <= 2.3, aspect <= 45) with enough headroom for refinement
+   changes, and far below where the discretization degrades. *)
+let default_max_growth = 3.5
+let default_max_aspect = 120.0
+let default_min_spacing = 1e-11 (* 0.01 nm *)
+
+let axis_checks ~axis_name ~max_growth ~min_spacing axis diags =
+  let n = Array.length axis in
+  let out = ref diags in
+  for i = 0 to n - 2 do
+    let h = axis.(i + 1) -. axis.(i) in
+    if h < min_spacing then
+      out :=
+        Diagnostic.error ~rule:"tcad-mesh-spacing"
+          ~location:(Printf.sprintf "%s axis, interval %d" axis_name i)
+          ~hint:"merge the nearly coincident mesh lines"
+          (Printf.sprintf "spacing %.3g nm is below the %.3g nm floor" (1e9 *. h)
+             (1e9 *. min_spacing))
+        :: !out
+  done;
+  for i = 0 to n - 3 do
+    let a = axis.(i + 1) -. axis.(i) and b = axis.(i + 2) -. axis.(i + 1) in
+    let r = Float.max (a /. b) (b /. a) in
+    if r > max_growth then
+      out :=
+        Diagnostic.warning ~rule:"tcad-mesh-spacing"
+          ~location:(Printf.sprintf "%s axis, lines %d..%d" axis_name i (i + 2))
+          ~hint:"grade the mesh so neighbouring intervals differ by < 3.5x"
+          (Printf.sprintf "adjacent spacings differ by %.1fx (truncation error grows)" r)
+        :: !out
+  done;
+  !out
+
+let check ?(max_growth = default_max_growth) ?(max_aspect = default_max_aspect)
+    ?(min_spacing = default_min_spacing) (dev : S.t) =
+  let mesh = dev.S.mesh in
+  let xs = mesh.M.xs and ys = mesh.M.ys in
+  let diags = [] in
+  let diags = axis_checks ~axis_name:"x" ~max_growth ~min_spacing xs diags in
+  let diags = axis_checks ~axis_name:"y" ~max_growth ~min_spacing ys diags in
+  (* Worst control-volume aspect ratio. *)
+  let worst = ref 1.0 and wix = ref 0 and wiy = ref 0 in
+  for ix = 0 to mesh.M.nx - 2 do
+    for iy = 0 to mesh.M.ny - 2 do
+      let dx = xs.(ix + 1) -. xs.(ix) and dy = ys.(iy + 1) -. ys.(iy) in
+      if dx > 0.0 && dy > 0.0 then begin
+        let r = Float.max (dx /. dy) (dy /. dx) in
+        if r > !worst then begin
+          worst := r;
+          wix := ix;
+          wiy := iy
+        end
+      end
+    done
+  done;
+  let diags =
+    if !worst > max_aspect then
+      Diagnostic.warning ~rule:"tcad-aspect-ratio"
+        ~location:(Printf.sprintf "cell (%d, %d)" !wix !wiy)
+        ~hint:"refine the coarse direction or coarsen the fine one"
+        (Printf.sprintf "control volume aspect ratio %.0f exceeds %.0f" !worst max_aspect)
+      :: diags
+    else diags
+  in
+  (* Contact coverage: every terminal the bias structure names must own at
+     least one boundary node, and the gate must have its Robin surface. *)
+  let count_term t =
+    Array.fold_left
+      (fun acc b -> match b with S.Ohmic t' when t' = t -> acc + 1 | _ -> acc)
+      0 dev.S.boundary
+  in
+  let gate_nodes =
+    Array.fold_left
+      (fun acc b -> match b with S.Gate_surface -> acc + 1 | _ -> acc)
+      0 dev.S.boundary
+  in
+  let need what n diags =
+    if n = 0 then
+      Diagnostic.error ~rule:"tcad-contact-coverage"
+        ~location:(Printf.sprintf "%s contact" what)
+        ~hint:"the bias cannot be applied without boundary nodes"
+        "terminal has no boundary nodes" :: diags
+    else if n = 1 then
+      Diagnostic.warning ~rule:"tcad-contact-coverage"
+        ~location:(Printf.sprintf "%s contact" what)
+        ~hint:"refine the mesh under the contact"
+        "terminal is resolved by a single mesh node" :: diags
+    else diags
+  in
+  let diags = need "source" (count_term S.Source) diags in
+  let diags = need "drain" (count_term S.Drain) diags in
+  let diags = need "substrate" (count_term S.Substrate) diags in
+  let diags = need "gate" gate_nodes diags in
+  (* Charge neutrality at ohmic contacts: the Dirichlet value assumes the
+     contact is neutral with a well-defined majority carrier, which needs
+     |net doping| >> n_i and a single doping type under each contact. *)
+  let n = M.n_nodes mesh in
+  let seen_sign = Hashtbl.create 4 in
+  let diags = ref diags in
+  for k = 0 to n - 1 do
+    match dev.S.boundary.(k) with
+    | S.Ohmic term ->
+      let net = dev.S.net_doping.(k) in
+      let term_name =
+        match term with
+        | S.Source -> "source"
+        | S.Drain -> "drain"
+        | S.Gate -> "gate"
+        | S.Substrate -> "substrate"
+      in
+      if Float.abs net < 10.0 *. dev.S.ni then
+        diags :=
+          Diagnostic.error ~rule:"tcad-charge-neutrality"
+            ~location:(Printf.sprintf "%s contact node %d" term_name k)
+            ~hint:"move the contact onto doped material"
+            (Printf.sprintf
+               "|net doping| = %.3g m^-3 is within 10x of n_i; the neutral \
+                carrier densities are ill-defined"
+               (Float.abs net))
+          :: !diags
+      else begin
+        let sign = if net > 0.0 then 1 else -1 in
+        match Hashtbl.find_opt seen_sign term_name with
+        | None -> Hashtbl.add seen_sign term_name sign
+        | Some s when s <> sign ->
+          Hashtbl.replace seen_sign term_name sign;
+          diags :=
+            Diagnostic.error ~rule:"tcad-charge-neutrality"
+              ~location:(Printf.sprintf "%s contact" term_name)
+              ~hint:"a contact straddling a junction shorts it"
+              "contact spans both doping types" :: !diags
+        | Some _ -> ()
+      end
+    | S.Interior | S.Reflecting | S.Gate_surface -> ()
+  done;
+  Diagnostic.sort !diags

@@ -1,0 +1,17 @@
+(** Checks on a built TCAD structure (mesh + doping + boundaries).
+
+    Rules: [tcad-mesh-spacing] (degenerate spacing, abrupt grading),
+    [tcad-aspect-ratio] (over-elongated control volumes),
+    [tcad-contact-coverage] (terminals without boundary nodes),
+    [tcad-charge-neutrality] (ohmic contacts on near-intrinsic material or
+    straddling a junction). *)
+
+val check :
+  ?max_growth:float ->
+  ?max_aspect:float ->
+  ?min_spacing:float ->
+  Tcad.Structure.t ->
+  Diagnostic.t list
+(** Defaults: growth 3.5x, aspect 120, spacing floor 0.01 nm — above
+    everything the shipped structure builder produces, below what breaks
+    the finite-volume discretization. *)

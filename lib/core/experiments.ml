@@ -3,11 +3,31 @@ type context = {
   sub : Scaling.Strategy.evaluation list;
 }
 
+(* Every selected device passes the static checker before any experiment
+   simulates with it: a mis-selected doping or a broken compact model
+   should fail here with a named parameter, not as a non-converging loop
+   three drivers later. *)
+let validate_evaluation which (e : Scaling.Strategy.evaluation) =
+  let what =
+    Printf.sprintf "%s %d nm device" which e.Scaling.Strategy.node.Scaling.Roadmap.nm
+  in
+  Check.assert_clean ~what (Check.physical e.Scaling.Strategy.phys);
+  let vdd = e.Scaling.Strategy.phys.Device.Params.vdd in
+  Check.assert_clean ~what
+    (Check.compact e.Scaling.Strategy.pair.Circuits.Inverter.nfet ~vdd);
+  Check.assert_clean ~what
+    (Check.compact e.Scaling.Strategy.pair.Circuits.Inverter.pfet ~vdd)
+
 let make_context ?cal ?(with_130 = false) () =
-  {
-    super = Scaling.Strategy.super_vth_trajectory ?cal ~with_130 ();
-    sub = Scaling.Strategy.sub_vth_trajectory ?cal ~with_130 ();
-  }
+  let ctx =
+    {
+      super = Scaling.Strategy.super_vth_trajectory ?cal ~with_130 ();
+      sub = Scaling.Strategy.sub_vth_trajectory ?cal ~with_130 ();
+    }
+  in
+  List.iter (validate_evaluation "super-Vth") ctx.super;
+  List.iter (validate_evaluation "sub-Vth") ctx.sub;
+  ctx
 
 let super_of c = c.super
 let sub_of c = c.sub

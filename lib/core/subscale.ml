@@ -15,6 +15,8 @@
       scaling-strategy optimizers (Tables 2-3) and multi-V_th offerings;
     - {!Interconnect} — wire RC, Elmore estimates and repeater planning;
     - {!Sta} — cell characterization and static timing analysis;
+    - {!Check} — pre-solver static analysis (deck DRC, physics validation,
+      STA lint, non-finite guards) with structured diagnostics;
     - {!Experiments} — one driver per table and figure. *)
 
 module Physics = Physics
@@ -28,4 +30,5 @@ module Scaling = Scaling
 module Interconnect = Interconnect
 module Sta = Sta
 module Report = Report
+module Check = Check
 module Experiments = Experiments

@@ -27,8 +27,10 @@ let newton sys ~overrides ~source_scale ~tol ~max_iter x0 =
 let solve ?x0 ?(overrides = []) ?(tol = 1e-9) ?(max_iter = 120) sys =
   let n = Mna.size sys in
   let start = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  let _ = Numerics.Guard.vec ~origin:"Dcop.solve: initial guess" start in
+  let guarded x = Numerics.Guard.vec ~origin:"Dcop.solve: solution" x in
   match newton sys ~overrides ~source_scale:1.0 ~tol ~max_iter start with
-  | Some x -> x
+  | Some x -> guarded x
   | None ->
     (* Source stepping: ramp all sources from zero. *)
     let steps = 20 in
@@ -44,4 +46,4 @@ let solve ?x0 ?(overrides = []) ?(tol = 1e-9) ?(max_iter = 120) sys =
                 (Printf.sprintf "source stepping failed at scale %.2f" scale))
        done
      with No_convergence _ as e -> raise e);
-    !x
+    guarded !x

@@ -19,7 +19,15 @@ let voltage _s x node = if node = 0 then 0.0 else x.(node - 1)
 
 let source_current s x name =
   let rec find i =
-    if i >= Array.length s.vsources then raise Not_found
+    if i >= Array.length s.vsources then begin
+      let known =
+        s.vsources |> Array.to_list |> List.map (fun (nm, _, _, _) -> nm)
+        |> String.concat ", "
+      in
+      invalid_arg
+        (Printf.sprintf "Mna.source_current: no voltage source named %S (known: %s)" name
+           (if known = "" then "<none>" else known))
+    end
     else begin
       let nm, _, _, _ = s.vsources.(i) in
       if String.equal nm name then x.(s.n_nodes - 1 + i) else find (i + 1)

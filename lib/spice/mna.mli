@@ -20,8 +20,9 @@ val voltage : system -> Numerics.Vec.t -> int -> float
 (** Node voltage from an unknown vector (handles ground). *)
 
 val source_current : system -> Numerics.Vec.t -> string -> float
-(** Branch current of a named voltage source.  Raises [Not_found] for an
-    unknown name. *)
+(** Branch current of a named voltage source.  Raises [Invalid_argument]
+    naming the missing source (and listing the known ones) for an unknown
+    name. *)
 
 type cap_companion = { geq : float; ieq : float }
 (** Trapezoidal/backward-Euler companion for one capacitor: the stamped

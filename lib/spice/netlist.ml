@@ -11,6 +11,19 @@ type waveform =
     }
   | Pwl of (float * float) list
 
+let pwl points =
+  if points = [] then invalid_arg "Netlist.pwl: empty point list";
+  let rec check = function
+    | (t0, _) :: ((t1, _) :: _ as rest) ->
+      if t1 <= t0 then
+        invalid_arg
+          (Printf.sprintf "Netlist.pwl: points not strictly time-sorted (%g after %g)" t1 t0);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check points;
+  Pwl points
+
 let waveform_value wave t =
   match wave with
   | Dc v -> v
@@ -24,6 +37,7 @@ let waveform_value wave t =
         high -. ((high -. low) *. (tau -. rise -. width) /. fall)
       else low
     end
+  | Pwl [] -> invalid_arg "Netlist.waveform_value: empty Pwl waveform"
   | Pwl points ->
     let rec walk = function
       | [] -> 0.0

@@ -16,10 +16,18 @@ type waveform =
       width : float;
       period : float;
     }
-  | Pwl of (float * float) list  (** piecewise linear (time, value), sorted *)
+  | Pwl of (float * float) list
+      (** piecewise linear (time, value), strictly time-sorted and non-empty;
+          construct through {!pwl} to have both properties validated *)
+
+val pwl : (float * float) list -> waveform
+(** Validated [Pwl] constructor.  Raises [Invalid_argument] on an empty
+    point list or points that are not strictly increasing in time. *)
 
 val waveform_value : waveform -> float -> float
-(** Value of a source waveform at a given time (DC value at [t <= 0]). *)
+(** Value of a source waveform at a given time (DC value at [t <= 0]).
+    Clamps to the first/last point of a [Pwl] outside its time span; raises
+    [Invalid_argument] on [Pwl []] (an empty waveform defines no value). *)
 
 type mosfet = {
   dev : Device.Compact.t;

@@ -83,6 +83,9 @@ let run ?dt ?x0 sys ~t_stop ~steps =
       match solved with
       | None -> raise (Dcop.No_convergence (Printf.sprintf "transient stuck at t=%.3e s" t'))
       | Some (x', caps_used) ->
+        let _ =
+          Numerics.Guard.vec ~origin:(Printf.sprintf "Transient.run: state at t=%.3e" t') x'
+        in
         for i = 0 to nc - 1 do
           let v_new = Mna.cap_voltage sys x' i in
           let { Mna.geq; ieq } = caps_used.(i) in
@@ -159,6 +162,11 @@ let run_adaptive ?(tol = 1e-4) ?dt_min ?dt_max ?x0 sys ~t_stop =
           advance x t (Float.max dt_min (0.5 *. h))
         end
         else begin
+          let _ =
+            Numerics.Guard.vec
+              ~origin:(Printf.sprintf "Transient.run_adaptive: state at t=%.3e" t')
+              x_tr
+          in
           for i = 0 to nc - 1 do
             let v_new = Mna.cap_voltage sys x_tr i in
             let { Mna.geq; ieq } = trap_caps.(i) in

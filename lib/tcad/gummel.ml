@@ -52,7 +52,12 @@ let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_s
         (No_convergence
            (Printf.sprintf "Poisson stalled at Vg=%.3f Vd=%.3f (residual %.2e)" biases.gate
               biases.drain sol.Poisson.residual));
-    let psi' = sol.Poisson.psi in
+    let psi' =
+      Numerics.Guard.vec
+        ~origin:(Printf.sprintf "Gummel.gummel_at: psi at Vg=%.3f Vd=%.3f" biases.gate
+                   biases.drain)
+        sol.Poisson.psi
+    in
     let recombination = Option.map (fun s -> (s, n_prev, p_prev)) srh in
     let e = Continuity.solve ?recombination dev ~carrier:Continuity.Electrons ~biases ~psi:psi' in
     let h = Continuity.solve ?recombination dev ~carrier:Continuity.Holes ~biases ~psi:psi' in
@@ -72,7 +77,11 @@ let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_s
         p = h.Continuity.density;
         phi_n = e.Continuity.quasi_fermi;
         phi_p = h.Continuity.quasi_fermi;
-        drain_current = total_drain_current dev ~psi:psi' ~u:e.Continuity.u ~w:h.Continuity.u;
+        drain_current =
+          Numerics.Guard.float
+            ~origin:(Printf.sprintf "Gummel.gummel_at: drain current at Vg=%.3f Vd=%.3f"
+                       biases.gate biases.drain)
+            (total_drain_current dev ~psi:psi' ~u:e.Continuity.u ~w:h.Continuity.u);
       }
     end
     else

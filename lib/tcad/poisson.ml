@@ -96,10 +96,14 @@ let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
   (* Bank–Rose style damping: each node moves at most a few thermal
      voltages per iteration, which keeps the Boltzmann terms from exploding
      while letting already-converged regions take full Newton steps. *)
+  let _ = Numerics.Guard.vec ~origin:"Poisson.solve: initial potential" psi in
   let clamp = 10.0 *. vt in
   let rec iterate iter =
     let scaled_res = assemble () in
-    if scaled_res <= tol then { psi; iterations = iter; residual = scaled_res; converged = true }
+    if scaled_res <= tol then begin
+      let _ = Numerics.Guard.vec ~origin:"Poisson.solve: converged potential" psi in
+      { psi; iterations = iter; residual = scaled_res; converged = true }
+    end
     else if iter >= max_iter then
       { psi; iterations = iter; residual = scaled_res; converged = false }
     else begin

@@ -30,6 +30,22 @@ let netlist_tests =
         Test_util.check_float "mid" 1.0 (N.waveform_value w 0.5);
         Test_util.check_float "flat" 2.0 (N.waveform_value w 2.0);
         Test_util.check_float "after" 2.0 (N.waveform_value w 9.0));
+    u "pwl constructor validates its points" (fun () ->
+        (match N.pwl [ (0.0, 0.0); (1.0, 1.0) ] with
+         | N.Pwl _ -> ()
+         | _ -> Alcotest.fail "pwl did not build a Pwl waveform");
+        let rejects name points =
+          match N.pwl points with
+          | _ -> Alcotest.failf "%s: accepted" name
+          | exception Invalid_argument _ -> ()
+        in
+        rejects "empty" [];
+        rejects "unsorted" [ (1.0, 0.0); (0.5, 1.0) ];
+        rejects "duplicate time" [ (0.0, 0.0); (0.0, 1.0) ]);
+    u "waveform_value rejects an empty Pwl" (fun () ->
+        match N.waveform_value (N.Pwl []) 0.0 with
+        | _ -> Alcotest.fail "empty Pwl produced a value"
+        | exception Invalid_argument _ -> ());
     u "named nodes are deduplicated" (fun () ->
         let c = N.create () in
         let a = N.node c "x" and b = N.node c "x" and d = N.node c "y" in
@@ -96,12 +112,20 @@ let mna_tests =
         let sys = Mna.build c in
         let x = Dcop.solve ~overrides:[ ("V", 2.0) ] sys in
         Test_util.check_rel "v" ~rel:1e-6 1.0 (Mna.voltage sys x mid));
-    u "unknown source name raises Not_found" (fun () ->
+    u "unknown source name raises a descriptive Invalid_argument" (fun () ->
         let c, _ = divider 1.0 1000.0 1000.0 in
         let sys = Mna.build c in
         let x = Dcop.solve sys in
-        Alcotest.check_raises "missing" Not_found (fun () ->
-            ignore (Mna.source_current sys x "nope")));
+        match Mna.source_current sys x "nope" with
+        | _ -> Alcotest.fail "lookup of a missing source succeeded"
+        | exception Invalid_argument msg ->
+          let has sub =
+            let n = String.length msg and m = String.length sub in
+            let rec at i = i + m <= n && (String.sub msg i m = sub || at (i + 1)) in
+            at 0
+          in
+          Alcotest.(check bool) "names the culprit" true (has "nope");
+          Alcotest.(check bool) "lists known sources" true (has "known: V"));
   ]
 
 let inverter_fixture vdd =
