@@ -6,7 +6,18 @@
 
    Phase 2 times each experiment driver and the hot numerical kernels with
    Bechamel (one Test.make per table/figure, plus kernel benches), printing
-   the OLS time-per-run estimates. *)
+   the OLS time-per-run estimates.
+
+   The context is built once and every staged experiment closes over it;
+   the device solves behind it live in the process-wide Exec.Memo tables,
+   so re-running a driver inside Bechamel's sampling loop re-reads the
+   cached characterizations instead of re-solving them (the stats table at
+   the end shows the hit counts).  Kernel benches that exist to time a raw
+   solve opt out with Exec.Memo.disabled.
+
+   Flags: --jobs N sets the domain-pool width (default SUBSCALE_JOBS or
+   the machine's recommended domain count); --smoke runs a fast subset
+   (kernel benches only, short quota) for CI. *)
 
 open Bechamel
 open Toolkit
@@ -81,7 +92,10 @@ let kernel_tests () =
       (Staged.stage (fun () -> Subscale.Analysis.Energy.vmin ~sizing pair));
     Test.make ~name:"kernel/super-vth-node"
       (Staged.stage (fun () ->
-           Subscale.Scaling.Super_vth.select_node (Subscale.Scaling.Roadmap.find 45)));
+           (* Time the raw doping search, not a memo hit. *)
+           Subscale.Exec.Memo.disabled (fun () ->
+               Subscale.Scaling.Super_vth.select_node
+                 (Subscale.Scaling.Roadmap.find 45))));
     Test.make ~name:"kernel/tcad-equilibrium"
       (Staged.stage (fun () -> Subscale.Tcad.Gummel.equilibrium tcad_dev));
     Test.make ~name:"kernel/adder-4bit-dc"
@@ -152,8 +166,18 @@ let ablation_tests () =
            Subscale.Analysis.Energy.measured ~stages:10 ~steps:400 pair ~vdd:0.25));
   ]
 
-let run_benchmarks tests =
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~kde:None () in
+let print_memo_stats () =
+  print_endline "==============================================================";
+  print_endline " Memo tables (hits / misses / entries)";
+  print_endline "==============================================================";
+  List.iter
+    (fun (s : Subscale.Exec.Memo.stats) ->
+      Printf.printf "%-28s %8d %8d %8d\n" s.Subscale.Exec.Memo.name
+        s.Subscale.Exec.Memo.hits s.Subscale.Exec.Memo.misses s.Subscale.Exec.Memo.size)
+    (Subscale.Exec.Memo.stats ())
+
+let run_benchmarks ~quota tests =
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~kde:None () in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -180,8 +204,20 @@ let run_benchmarks tests =
     tests
 
 let () =
+  let smoke = ref false in
+  let jobs = ref None in
+  Arg.parse
+    [ ("--smoke", Arg.Set smoke, " fast CI subset: kernel benches only, short quota");
+      ("--jobs", Arg.Int (fun n -> jobs := Some n), "N domain-pool width") ]
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "bench [--smoke] [--jobs N]";
+  Option.iter Subscale.Exec.set_jobs !jobs;
   let t0 = Unix.gettimeofday () in
-  let ctx = Subscale.Experiments.make_context ~with_130:true () in
-  print_reproduction ctx;
-  run_benchmarks (experiment_tests ctx @ kernel_tests () @ ablation_tests ());
+  if !smoke then run_benchmarks ~quota:0.05 (kernel_tests () @ ablation_tests ())
+  else begin
+    let ctx = Subscale.Experiments.make_context ~with_130:true () in
+    print_reproduction ctx;
+    run_benchmarks ~quota:0.4 (experiment_tests ctx @ kernel_tests () @ ablation_tests ())
+  end;
+  print_memo_stats ();
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

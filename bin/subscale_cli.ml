@@ -35,6 +35,29 @@ let setup_logs level =
 let log_term =
   Term.(const setup_logs $ Logs_cli.level ())
 
+(* Parallelism: --jobs N pins the domain-pool width; without it the default
+   comes from SUBSCALE_JOBS or the machine's recommended domain count.  All
+   sweep results are bit-identical for every setting (see DESIGN.md). *)
+let setup_jobs = function
+  | None -> ()
+  | Some n ->
+    if n < 1 then begin
+      Printf.eprintf "--jobs must be >= 1\n";
+      exit 2
+    end;
+    Subscale.Exec.set_jobs n
+
+let jobs_term =
+  let doc =
+    "Number of domains used for parallel sweeps (default: $(b,SUBSCALE_JOBS) \
+     or the machine's recommended domain count).  $(b,--jobs 1) runs purely \
+     sequentially and spawns no domains; outputs are bit-identical for every \
+     value."
+  in
+  Term.(
+    const setup_jobs
+    $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
+
 let experiment_ids =
   [ "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
@@ -84,7 +107,7 @@ let run_cmd =
     let doc = "Directory to write per-experiment CSV files into." in
     Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run () ids no_measured plots csv_dir =
+  let run () () ids no_measured plots csv_dir =
     let ids =
       List.concat_map
         (fun id ->
@@ -146,7 +169,7 @@ let run_cmd =
   in
   let doc = "Reproduce the paper's tables and figures" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ log_term $ ids $ no_measured $ plots $ csv_dir)
+    Term.(const run $ log_term $ jobs_term $ ids $ no_measured $ plots $ csv_dir)
 
 let node_arg =
   let doc = "Technology node (90, 65, 45 or 32; 130 for the Fig. 12 extra point)." in
@@ -176,7 +199,7 @@ let select_device node strategy =
     exit 2
 
 let device_cmd =
-  let run () node strategy =
+  let run () () node strategy =
     let roadmap_node, phys, pair = select_device node strategy in
     validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     let e =
@@ -207,10 +230,11 @@ let device_cmd =
       (1e15 *. e.Subscale.Scaling.Strategy.energy_at_vmin)
   in
   let doc = "Print compact-model characteristics of one scaled device" in
-  Cmd.v (Cmd.info "device" ~doc) Term.(const run $ log_term $ node_arg $ strategy_arg)
+  Cmd.v (Cmd.info "device" ~doc)
+    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg)
 
 let tcad_cmd =
-  let run () node strategy =
+  let run () () node strategy =
     let _, _, pair = select_device node strategy in
     let nfet = pair.Subscale.Circuits.Inverter.nfet in
     let desc = Subscale.Device.Compact.to_tcad_description nfet in
@@ -232,14 +256,15 @@ let tcad_cmd =
     Printf.printf "Ion/Ioff @250mV : %.0f\n" ch.Subscale.Tcad.Extract.on_off_ratio_sub
   in
   let doc = "Characterize one scaled device with the 2-D TCAD simulator" in
-  Cmd.v (Cmd.info "tcad" ~doc) Term.(const run $ log_term $ node_arg $ strategy_arg)
+  Cmd.v (Cmd.info "tcad" ~doc)
+    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg)
 
 let sweep_cmd =
   let vd_arg =
     let doc = "Drain bias for the sweep [V]." in
     Arg.(value & opt float 0.25 & info [ "vd" ] ~docv:"V" ~doc)
   in
-  let run () node strategy vd =
+  let run () () node strategy vd =
     let _, phys, pair = select_device node strategy in
     validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     let nfet = pair.Subscale.Circuits.Inverter.nfet in
@@ -250,7 +275,8 @@ let sweep_cmd =
       (Subscale.Numerics.Vec.linspace 0.0 0.9 46)
   in
   let doc = "Dump a compact-model Id-Vg sweep as CSV (A/um)" in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ log_term $ node_arg $ strategy_arg $ vd_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg $ vd_arg)
 
 let vdd_arg =
   let doc = "Supply voltage [V]." in
@@ -261,7 +287,7 @@ let out_arg ~default =
   Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let liberty_cmd =
-  let run () node strategy vdd path =
+  let run () () node strategy vdd path =
     let _, phys, pair = select_device node strategy in
     validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     Printf.printf "characterizing INV/NAND2/NOR2 at %.0f mV...\n%!" (1000.0 *. vdd);
@@ -272,7 +298,7 @@ let liberty_cmd =
   in
   let doc = "Characterize a cell library and write it as a Liberty (.lib) file" in
   Cmd.v (Cmd.info "liberty" ~doc)
-    Term.(const run $ log_term $ node_arg $ strategy_arg $ vdd_arg
+    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg $ vdd_arg
           $ out_arg ~default:"subscale.lib")
 
 let export_cmd =
@@ -280,7 +306,7 @@ let export_cmd =
     let doc = "Circuit to export: 'inverter', 'chain' or 'adder'." in
     Arg.(value & opt string "inverter" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run () node strategy vdd circuit path =
+  let run () () node strategy vdd circuit path =
     let _, _, pair = select_device node strategy in
     let netlist =
       match circuit with
@@ -303,7 +329,7 @@ let export_cmd =
   in
   let doc = "Export a generated circuit as a SPICE deck" in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const run $ log_term $ node_arg $ strategy_arg $ vdd_arg $ circuit_arg
+    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg $ vdd_arg $ circuit_arg
           $ out_arg ~default:"subscale.sp")
 
 let verilog_cmd =
@@ -503,7 +529,7 @@ let check_cmd =
     let doc = "Also build the 2-D TCAD structures and lint their meshes (slower)." in
     Arg.(value & flag & info [ "tcad" ] ~doc)
   in
-  let run () selftest strict with_tcad =
+  let run () () selftest strict with_tcad =
     if selftest then check_selftest ()
     else begin
       let all = check_targets ~with_tcad in
@@ -523,7 +549,7 @@ let check_cmd =
           $(b,--strict)), 1 when any rule reported an error." ]
   in
   Cmd.v (Cmd.info "check" ~doc ~man)
-    Term.(const run $ log_term $ selftest $ strict $ with_tcad)
+    Term.(const run $ log_term $ jobs_term $ selftest $ strict $ with_tcad)
 
 let main =
   let doc = "Subthreshold device-scaling study (DAC 2007 reproduction)" in

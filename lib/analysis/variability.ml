@@ -36,21 +36,34 @@ let stage_delay (pair : Circuits.Inverter.pair) sizing ~vdd ~dvn ~dvp =
   let i_p = sizing.Circuits.Inverter.wp *. Device.Iv_model.ion pfet ~vdd in
   Delay.k_d *. cl *. vdd /. (0.5 *. (i_n +. i_p))
 
+(* Monte-Carlo fan-out recipe: every random draw happens sequentially, in
+   exactly the order the original single-threaded loop drew them, and only
+   the (pure) per-trial evaluation goes through [Exec.map].  The sampled
+   numbers are therefore bit-identical for any --jobs setting — the
+   differential harness in test/test_exec.ml holds these paths to it. *)
 let chain_delay_distribution ?(seed = 42) ?(trials = 400) ?(stages = 30)
     ?(sizing = Circuits.Inverter.balanced_sizing ()) pair ~vdd =
   if trials < 2 then invalid_arg "Variability.chain_delay_distribution: need >= 2 trials";
   let rng = Numerics.Rng.create ~seed in
   let sn = sigma_vth pair.Circuits.Inverter.nfet ~width:sizing.Circuits.Inverter.wn in
   let sp = sigma_vth pair.Circuits.Inverter.pfet ~width:sizing.Circuits.Inverter.wp in
+  let shifts = Array.make trials [||] in
+  for trial = 0 to trials - 1 do
+    let per_stage = Array.make stages (0.0, 0.0) in
+    for stage = 0 to stages - 1 do
+      let dvn = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sn in
+      let dvp = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sp in
+      per_stage.(stage) <- (dvn, dvp)
+    done;
+    shifts.(trial) <- per_stage
+  done;
   let samples =
-    Array.init trials (fun _ ->
-        let total = ref 0.0 in
-        for _stage = 1 to stages do
-          let dvn = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sn in
-          let dvp = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sp in
-          total := !total +. stage_delay pair sizing ~vdd ~dvn ~dvp
-        done;
-        !total)
+    Exec.map_array
+      (fun per_stage ->
+        Array.fold_left
+          (fun total (dvn, dvp) -> total +. stage_delay pair sizing ~vdd ~dvn ~dvp)
+          0.0 per_stage)
+      shifts
   in
   summarize samples
 
@@ -60,10 +73,15 @@ let snm_distribution ?(seed = 42) ?(trials = 400)
   let rng = Numerics.Rng.create ~seed in
   let sn = sigma_vth pair.Circuits.Inverter.nfet ~width:sizing.Circuits.Inverter.wn in
   let sp = sigma_vth pair.Circuits.Inverter.pfet ~width:sizing.Circuits.Inverter.wp in
+  let shifts = Array.make trials (0.0, 0.0) in
+  for trial = 0 to trials - 1 do
+    let dvn = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sn in
+    let dvp = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sp in
+    shifts.(trial) <- (dvn, dvp)
+  done;
   let samples =
-    Array.init trials (fun _ ->
-        let dvn = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sn in
-        let dvp = Numerics.Rng.normal rng ~mean:0.0 ~sigma:sp in
+    Exec.map_array
+      (fun (dvn, dvp) ->
         let pair' =
           {
             Circuits.Inverter.nfet =
@@ -74,6 +92,7 @@ let snm_distribution ?(seed = 42) ?(trials = 400)
         match Snm.inverter ~engine:`Analytic pair' ~sizing ~vdd with
         | margins -> Float.max 0.0 margins.Snm.snm
         | exception Failure _ -> 0.0)
+      shifts
   in
   summarize samples
 

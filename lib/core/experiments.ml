@@ -82,7 +82,7 @@ let paper_t2 =
 let table2 ctx =
   let rows =
     List.concat
-      (List.map2
+      (Exec.map2
          (fun e (lp, tox, nsub, nhalo, vdd, vth, ioff, tau) ->
            let phys = e.Scaling.Strategy.phys in
            let nfet = e.Scaling.Strategy.pair.Circuits.Inverter.nfet in
@@ -133,7 +133,7 @@ let table3 ctx =
   let df0 = (List.hd subs).Scaling.Strategy.delay_factor in
   let rows =
     List.concat
-      (List.map2
+      (Exec.map2
          (fun e (lp, tox, nsub, nhalo, clss2, clss) ->
            let phys = e.Scaling.Strategy.phys in
            [
@@ -237,7 +237,7 @@ let snm_at pair vdd =
 let fig4 ctx =
   let evals = roadmap_only ctx.super in
   let rows =
-    List.map
+    Exec.map
       (fun e ->
         let vdd = e.Scaling.Strategy.node.Scaling.Roadmap.vdd in
         [ fmt "%d" (node_of e);
@@ -262,7 +262,7 @@ let fig4 ctx =
 let fig5 ?(measured = true) ctx =
   let sizing = Circuits.Inverter.balanced_sizing () in
   let rows =
-    List.map
+    Exec.map
       (fun e ->
         let pair = e.Scaling.Strategy.pair in
         let vdd = e.Scaling.Strategy.node.Scaling.Roadmap.vdd in
@@ -409,7 +409,7 @@ let fig8 () =
 
 let fig9 ctx =
   let rows =
-    List.map2
+    Exec.map2
       (fun sup sub ->
         [ fmt "%d" (node_of sup);
           fmt "%.0f" (nm sup.Scaling.Strategy.phys.Device.Params.lpoly);
@@ -443,7 +443,7 @@ let fig9 ctx =
 let fig10 ctx =
   let supers = roadmap_only ctx.super and subs = roadmap_only ctx.sub in
   let rows =
-    List.map2
+    Exec.map2
       (fun sup sub ->
         [ fmt "%d" (node_of sup);
           fmt "%.1f" (mv sup.Scaling.Strategy.snm_sub);
@@ -473,7 +473,7 @@ let fig11 ctx =
   let d0_sup = (List.hd supers).Scaling.Strategy.delay_sub in
   let d0_sub = (List.hd subs).Scaling.Strategy.delay_sub in
   let rows =
-    List.map2
+    Exec.map2
       (fun sup sub ->
         [ fmt "%d" (node_of sup);
           fmt "%.2f" (sup.Scaling.Strategy.delay_sub /. d0_sup);
@@ -502,7 +502,7 @@ let fig11 ctx =
 
 let fig12 ctx =
   let rows =
-    List.map2
+    Exec.map2
       (fun sup sub ->
         [ fmt "%d" (node_of sup);
           fmt "%.0f" (mv sup.Scaling.Strategy.vmin);
@@ -604,13 +604,14 @@ let ext_multi_vth () =
         ~notes:
           [ "each flavor re-solves the doping for a decade-spaced Ioff budget";
             "LVT trades a decade of leakage for ~2x delay at 250 mV" ]
-        (describe Scaling.Strategy.Super_vth @ describe Scaling.Strategy.Sub_vth);
+        (List.concat
+           (Exec.map describe [ Scaling.Strategy.Super_vth; Scaling.Strategy.Sub_vth ]));
     plots = [];
   }
 
 let ext_bitline ctx =
   let rows =
-    List.map2
+    Exec.map2
       (fun sup sub ->
         let bits pair =
           Analysis.Bitline.max_bits_per_line pair.Circuits.Inverter.nfet ~vdd:0.25
@@ -637,7 +638,7 @@ let ext_temperature () =
   let phys = List.hd Device.Params.paper_table2 in
   let sizing = Circuits.Inverter.balanced_sizing () in
   let rows =
-    List.map
+    Exec.map
       (fun t ->
         let pair =
           {
@@ -669,7 +670,7 @@ let ext_temperature () =
 
 let ext_datapath ctx =
   let rows =
-    List.map
+    Exec.map
       (fun e ->
         let pair = e.Scaling.Strategy.pair in
         let adder = Circuits.Adder.ripple_carry pair ~vdd:0.25 ~bits:8 in
@@ -701,7 +702,7 @@ let ext_interconnect ctx =
      centimetres — repeaters effectively disappear from sub-Vth design. *)
   let sizing = Circuits.Inverter.balanced_sizing () in
   let rows =
-    List.map
+    Exec.map
       (fun e ->
         let pair = e.Scaling.Strategy.pair in
         let node_nm = node_of e in
@@ -743,7 +744,7 @@ let ext_interconnect ctx =
 
 let ext_sta ctx =
   let rows =
-    List.map
+    Exec.map
       (fun e ->
         let pair = e.Scaling.Strategy.pair in
         let lib = Sta.Cell_lib.characterize pair ~vdd:0.25 in
@@ -823,8 +824,9 @@ let ext_yield ctx =
 let ext_projection () =
   let projected = Scaling.Roadmap.project ~generations:2 in
   let rows =
-    List.concat_map
-      (fun node ->
+    List.concat
+      (Exec.map
+         (fun node ->
         let sup = Scaling.Super_vth.select_node node in
         let sub = Scaling.Sub_vth.select_node node in
         let ss_of (p : Circuits.Inverter.pair) = p.Circuits.Inverter.nfet.Device.Compact.ss in
@@ -844,7 +846,7 @@ let ext_projection () =
               (Device.Iv_model.on_off_ratio sub.Scaling.Sub_vth.pair.Circuits.Inverter.nfet
                  ~vdd:0.25) ];
         ])
-      projected
+         projected)
   in
   {
     id = "ext-projection";
@@ -873,7 +875,7 @@ let ext_corners ctx =
   let rows =
     List.concat_map
       (fun (label, pair) ->
-        List.map
+        Exec.map
           (fun corner ->
             let p = at_corner pair corner in
             let tp = Analysis.Delay.eq5 p ~sizing ~vdd:0.25 in
@@ -947,7 +949,7 @@ let ext_pareto ctx =
         ~notes:
           [ "the EDP optimum sits well above Vmin: speed is cheap near Vmin";
             "iso-delay column: cheapest energy meeting a 100 ns stage delay" ]
-        (List.map2 describe [ "32nm super"; "32nm sub" ] [ sup32; sub32 ])
+        (Exec.map2 describe [ "32nm super"; "32nm sub" ] [ sup32; sub32 ])
     ;
     plots = [];
   }

@@ -17,10 +17,14 @@
     - {!Sta} — cell characterization and static timing analysis;
     - {!Check} — pre-solver static analysis (deck DRC, physics validation,
       STA lint, non-finite guards) with structured diagnostics;
+    - {!Exec} — the domain pool ({!Exec.Pool}) every sweep fans out
+      through, and the content-addressed memo tables ({!Exec.Memo}) that
+      share device solves across experiments;
     - {!Experiments} — one driver per table and figure. *)
 
 module Physics = Physics
 module Numerics = Numerics
+module Exec = Exec
 module Tcad = Tcad
 module Device = Device
 module Spice = Spice

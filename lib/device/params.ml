@@ -50,6 +50,42 @@ let default_calibration =
 
 type polarity = Nfet | Pfet
 
+(* Canonical content keys (Exec.Memo): every field participates, floats
+   bit-exactly, so no two distinct parameter sets can share a cache line
+   and changing any single field is guaranteed to produce a new key. *)
+let physical_key (p : physical) =
+  Exec.Key.(
+    fields "physical"
+      [ ("node_nm", int p.node_nm);
+        ("lpoly", float p.lpoly);
+        ("tox", float p.tox);
+        ("nsub", float p.nsub);
+        ("np_halo", float p.np_halo);
+        ("vdd", float p.vdd);
+        ("xj", option float p.xj);
+        ("overlap", option float p.overlap) ])
+
+let calibration_key (c : calibration) =
+  Exec.Key.(
+    fields "calibration"
+      [ ("xj_fraction", float c.xj_fraction);
+        ("overlap_fraction", float c.overlap_fraction);
+        ("k_halo", float c.k_halo);
+        ("k_body", float c.k_body);
+        ("k_sce", float c.k_sce);
+        ("k_lambda", float c.k_lambda);
+        ("lambda_xj_exp", float c.lambda_xj_exp);
+        ("halo_sce_exp", float c.halo_sce_exp);
+        ("ss_offset", float c.ss_offset);
+        ("k_vth_sce", float c.k_vth_sce);
+        ("k_dibl", float c.k_dibl);
+        ("vth_offset", float c.vth_offset);
+        ("mu_factor", float c.mu_factor);
+        ("fringe_cap", float c.fringe_cap);
+        ("load_factor", float c.load_factor) ])
+
+let polarity_key = function Nfet -> "nfet" | Pfet -> "pfet"
+
 let nm = Physics.Constants.nm
 let cm3 = Physics.Constants.per_cm3
 

@@ -59,6 +59,16 @@ val default_calibration : calibration
 
 type polarity = Nfet | Pfet
 
+val physical_key : physical -> string
+(** Canonical content key over every field (floats rendered as exact IEEE-754
+    bit patterns), for [Exec.Memo] tables.  Two records produce the same key
+    iff they are structurally equal. *)
+
+val calibration_key : calibration -> string
+(** Canonical content key over every calibration constant. *)
+
+val polarity_key : polarity -> string
+
 val paper_table2 : physical list
 (** The paper's Table 2 NFET parameters (super-V_th strategy), verbatim. *)
 

@@ -1,0 +1,102 @@
+(** Exec: deterministic parallel execution and content-addressed
+    memoization.
+
+    - {!Pool} — a fixed-size domain pool whose [map] preserves input order
+      and propagates exceptions exactly like [List.map];
+    - {!Memo} — memo tables keyed by canonical content keys, with hit/miss
+      accounting, used to share device characterizations across sweep
+      points and across experiments;
+    - {!Key} — the canonical (bit-exact) key encodings.
+
+    The module also owns the process-wide parallelism configuration: the
+    job count comes from [set_jobs] (the CLI's [--jobs]), else from the
+    [SUBSCALE_JOBS] environment variable, else from
+    [Domain.recommended_domain_count ()].  [map] is a drop-in for
+    [List.map] that fans out over the shared pool; with one job it *is*
+    [List.map] (no domain is ever spawned), and nested calls — a mapped
+    task that itself calls [map] — run sequentially instead of deadlocking
+    or oversubscribing, so results never depend on nesting depth. *)
+
+module Pool = Pool
+module Memo = Memo
+module Key = Key
+
+let default_jobs () =
+  match Sys.getenv_opt "SUBSCALE_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let config_lock = Mutex.create ()
+let configured_jobs = ref None
+let shared_pool = ref None
+
+let jobs () =
+  Mutex.lock config_lock;
+  let n =
+    match !configured_jobs with
+    | Some n -> n
+    | None ->
+      let n = default_jobs () in
+      configured_jobs := Some n;
+      n
+  in
+  Mutex.unlock config_lock;
+  n
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Exec.set_jobs: need at least one job";
+  Mutex.lock config_lock;
+  let old_pool =
+    if !configured_jobs <> Some n then begin
+      let p = !shared_pool in
+      shared_pool := None;
+      configured_jobs := Some n;
+      p
+    end
+    else None
+  in
+  Mutex.unlock config_lock;
+  Option.iter Pool.shutdown old_pool
+
+let get_pool n =
+  Mutex.lock config_lock;
+  let pool =
+    match !shared_pool with
+    | Some p when Pool.domains p = n -> p
+    | Some p ->
+      Pool.shutdown p;
+      let p = Pool.create ~domains:n in
+      shared_pool := Some p;
+      p
+    | None ->
+      let p = Pool.create ~domains:n in
+      shared_pool := Some p;
+      p
+  in
+  Mutex.unlock config_lock;
+  pool
+
+(* One fan-out at a time: a [map] issued while another is in flight (in
+   particular from inside a mapped task) falls back to [List.map].  This
+   keeps nesting deadlock-free and the domain count bounded at [jobs]. *)
+let busy = Atomic.make false
+
+let map f xs =
+  let n = jobs () in
+  if n <= 1 then List.map f xs
+  else if Atomic.compare_and_set busy false true then
+    Fun.protect
+      ~finally:(fun () -> Atomic.set busy false)
+      (fun () -> Pool.map (get_pool n) xs f)
+  else List.map f xs
+
+let map2 f xs ys =
+  if List.length xs <> List.length ys then invalid_arg "Exec.map2: length mismatch";
+  map (fun (x, y) -> f x y) (List.combine xs ys)
+
+let mapi f xs = map (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+
+let map_array f arr = Array.of_list (map f (Array.to_list arr))

@@ -1,0 +1,116 @@
+(* Content-addressed memoization with hit/miss accounting.
+
+   A table maps a canonical key (built with {!Key}) to a computed value.
+   Tables are safe to query from any domain: lookups and insertions hold a
+   per-table mutex, but the user computation runs outside it, so two
+   domains that miss the same key concurrently both compute — the first
+   insertion wins and, because memoized functions must be pure, the values
+   are identical, so results stay deterministic either way.
+
+   Every table registers itself in a process-wide registry so the test
+   harness can reset the world ([clear_all]) and the bench can report
+   cache effectiveness ([stats]). *)
+
+type stats = { name : string; hits : int; misses : int; size : int }
+
+type 'a t = {
+  name : string;
+  tbl : (string, 'a) Hashtbl.t;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let registry : (unit -> unit) list ref = ref []
+let registry_stats : (unit -> stats) list ref = ref []
+let registry_lock = Mutex.create ()
+
+(* Scoped bypass: while the depth is positive, [find_or_compute] neither
+   reads nor writes any table.  Used by benches that must time the raw
+   solve, not a cache hit. *)
+let disabled_depth = Atomic.make 0
+
+let disabled f =
+  Atomic.incr disabled_depth;
+  Fun.protect ~finally:(fun () -> Atomic.decr disabled_depth) f
+
+let enabled () = Atomic.get disabled_depth = 0
+
+let create ~name () =
+  let t = { name; tbl = Hashtbl.create 64; lock = Mutex.create (); hits = 0; misses = 0 } in
+  let clear () =
+    Mutex.lock t.lock;
+    Hashtbl.reset t.tbl;
+    t.hits <- 0;
+    t.misses <- 0;
+    Mutex.unlock t.lock
+  in
+  let stats () =
+    Mutex.lock t.lock;
+    let s = { name = t.name; hits = t.hits; misses = t.misses; size = Hashtbl.length t.tbl } in
+    Mutex.unlock t.lock;
+    s
+  in
+  Mutex.lock registry_lock;
+  registry := clear :: !registry;
+  registry_stats := stats :: !registry_stats;
+  Mutex.unlock registry_lock;
+  t
+
+let find_or_compute t ~key f =
+  if not (enabled ()) then f ()
+  else begin
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.tbl key with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      let v = f () in
+      Mutex.lock t.lock;
+      if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key v;
+      Mutex.unlock t.lock;
+      v
+  end
+
+let hits t =
+  Mutex.lock t.lock;
+  let h = t.hits in
+  Mutex.unlock t.lock;
+  h
+
+let misses t =
+  Mutex.lock t.lock;
+  let m = t.misses in
+  Mutex.unlock t.lock;
+  m
+
+let size t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.lock;
+  n
+
+let clear t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0;
+  Mutex.unlock t.lock
+
+let clear_all () =
+  Mutex.lock registry_lock;
+  let clears = !registry in
+  Mutex.unlock registry_lock;
+  List.iter (fun clear -> clear ()) clears
+
+let stats () =
+  Mutex.lock registry_lock;
+  let fns = !registry_stats in
+  Mutex.unlock registry_lock;
+  List.sort
+    (fun (a : stats) (b : stats) -> compare a.name b.name)
+    (List.map (fun f -> f ()) fns)

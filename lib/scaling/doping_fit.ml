@@ -8,8 +8,8 @@ let solve_doping ~ioff_of ~target ~lo ~hi ~what =
     failwith (Printf.sprintf "Doping_fit: leakage budget unreachable when selecting %s" what)
   else 10.0 ** Numerics.Root.brent ~tol:1e-10 f (log10 lo) (log10 hi)
 
-let solve_for_ioff ?(cal = Device.Params.default_calibration) ~(base : Device.Params.physical)
-    ~ioff_vdd ~target () =
+let solve_for_ioff_uncached ?(cal = Device.Params.default_calibration)
+    ~(base : Device.Params.physical) ~ioff_vdd ~target () =
   (* The long-channel reference keeps the node's junction geometry (drawn
      length changes, process does not). *)
   let probe = Device.Compact.nfet ~cal base in
@@ -36,3 +36,24 @@ let solve_for_ioff ?(cal = Device.Params.default_calibration) ~(base : Device.Pa
         ~what:"N_p,halo"
   in
   { base with Device.Params.nsub; np_halo }
+
+(* The doping selection is two nested root-finds over compact-model
+   leakage — the single hottest call in every node-selection sweep.  The
+   result depends only on (calibration, base parameters, bias, budget),
+   so a content-keyed memo shares it across sweep points, across the
+   sub-Vth L_poly grid and golden-section refinement, and across
+   experiments re-selecting the same node. *)
+let memo : Device.Params.physical Exec.Memo.t = Exec.Memo.create ~name:"scaling.doping_fit" ()
+
+let solve_for_ioff ?(cal = Device.Params.default_calibration)
+    ~(base : Device.Params.physical) ~ioff_vdd ~target () =
+  let key =
+    Exec.Key.(
+      fields "solve_for_ioff"
+        [ ("cal", Device.Params.calibration_key cal);
+          ("base", Device.Params.physical_key base);
+          ("ioff_vdd", float ioff_vdd);
+          ("target", float target) ])
+  in
+  Exec.Memo.find_or_compute memo ~key (fun () ->
+      solve_for_ioff_uncached ~cal ~base ~ioff_vdd ~target ())

@@ -14,6 +14,15 @@ let nodes =
 let nodes_with_130 =
   { nm = 130; lpoly = nm_ 93.0; tox = nm_ 2.33; vdd = 1.3; ileak_max = pa 80.0 } :: nodes
 
+let node_key (n : node) =
+  Exec.Key.(
+    fields "node"
+      [ ("nm", int n.nm);
+        ("lpoly", float n.lpoly);
+        ("tox", float n.tox);
+        ("vdd", float n.vdd);
+        ("ileak_max", float n.ileak_max) ])
+
 let find label =
   match List.find_opt (fun n -> n.nm = label) nodes_with_130 with
   | Some n -> n

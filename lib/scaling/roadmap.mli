@@ -26,6 +26,9 @@ val nodes_with_130 : node list
 val find : int -> node
 (** Lookup by label; raises [Not_found]. *)
 
+val node_key : node -> string
+(** Canonical content key over every field, for [Exec.Memo] tables. *)
+
 val sub_vth_ioff_target : float
 (** The sub-V_th strategy's constant I_off: 100 pA/um [A/m] (Sec. 3.2). *)
 

@@ -22,7 +22,33 @@ type evaluation = {
 
 let sub_vdd = 0.25
 
-let evaluate kind node phys pair =
+(* A full evaluation is the expensive half of every sweep point: a SPICE
+   VTC + SNM solve and the V_min energy search.  It is a pure function of
+   (kind, node, physical parameters, compact pair), and the pair itself is
+   derived from (physical, calibration, temperature) — so that triple is
+   the content key, and experiments sharing a node share the solve. *)
+let evaluate_memo : evaluation Exec.Memo.t = Exec.Memo.create ~name:"scaling.evaluate" ()
+
+let evaluation_key kind node (phys : Device.Params.physical)
+    (pair : Circuits.Inverter.pair) =
+  let dev_key (d : Device.Compact.t) =
+    Exec.Key.(
+      fields "compact"
+        [ ("phys", Device.Params.physical_key d.Device.Compact.phys);
+          ("cal", Device.Params.calibration_key d.Device.Compact.cal);
+          ("polarity", Device.Params.polarity_key d.Device.Compact.polarity);
+          ("t", float d.Device.Compact.temperature) ])
+  in
+  let nfet_key = dev_key pair.Circuits.Inverter.nfet in
+  let pfet_key = dev_key pair.Circuits.Inverter.pfet in
+  Exec.Key.fields "evaluate"
+    [ ("kind", (match kind with Super_vth -> "super" | Sub_vth -> "sub"));
+      ("node", Roadmap.node_key node);
+      ("phys", Device.Params.physical_key phys);
+      ("nfet", nfet_key);
+      ("pfet", pfet_key) ]
+
+let evaluate_uncached kind node phys pair =
   let sizing = Circuits.Inverter.balanced_sizing () in
   let nfet = pair.Circuits.Inverter.nfet in
   (* The SPICE engine's VTC carries the DIBL-driven output-conductance loss
@@ -52,15 +78,19 @@ let evaluate kind node phys pair =
     energy_at_vmin = vmin_result.Analysis.Energy.e_min;
   }
 
+let evaluate kind node phys pair =
+  Exec.Memo.find_or_compute evaluate_memo ~key:(evaluation_key kind node phys pair)
+    (fun () -> evaluate_uncached kind node phys pair)
+
 let super_vth_trajectory ?cal ?(with_130 = false) () =
   let selections = if with_130 then Super_vth.all_with_130 ?cal () else Super_vth.all ?cal () in
-  List.map
+  Exec.map
     (fun s ->
       evaluate Super_vth s.Super_vth.node s.Super_vth.phys s.Super_vth.pair)
     selections
 
 let sub_vth_trajectory ?cal ?(with_130 = false) () =
   let selections = if with_130 then Sub_vth.all_with_130 ?cal () else Sub_vth.all ?cal () in
-  List.map
+  Exec.map
     (fun s -> evaluate Sub_vth s.Sub_vth.node s.Sub_vth.phys s.Sub_vth.pair)
     selections

@@ -32,7 +32,7 @@ let doping_for_lpoly ?(cal = Device.Params.default_calibration) ~(node : Roadmap
     ~target:Roadmap.sub_vth_ioff_target ()
 
 let ss_vs_lpoly ?(cal = Device.Params.default_calibration) ~node ~lpolys ~fixed_doping () =
-  Array.map
+  Exec.map_array
     (fun lpoly ->
       let phys =
         match fixed_doping with
@@ -43,24 +43,39 @@ let ss_vs_lpoly ?(cal = Device.Params.default_calibration) ~node ~lpolys ~fixed_
       (lpoly, dev.Device.Compact.ss))
     lpolys
 
+(* The (phys, pair, factors) bundle for one candidate gate length.  The
+   golden-section refinement revisits the same L_poly values the grid
+   already sampled, so memoizing here halves the solve count on top of
+   what the doping memo shares. *)
+let factors_memo :
+    (Device.Params.physical * Circuits.Inverter.pair * float * float) Exec.Memo.t =
+  Exec.Memo.create ~name:"scaling.sub_vth_factors" ()
+
 let factors_at ?(cal = Device.Params.default_calibration) ~node ~lpoly () =
-  let phys = doping_for_lpoly ~cal ~node ~lpoly () in
-  let pair = Circuits.Inverter.pair_of_physical ~cal phys in
-  let sizing = Circuits.Inverter.balanced_sizing () in
-  let ef = Analysis.Metrics.energy_factor pair ~sizing in
-  let df = Analysis.Metrics.delay_factor ~ioff_vdd:operating_vdd pair ~sizing in
-  (phys, pair, ef, df)
+  let key =
+    Exec.Key.(
+      fields "factors_at"
+        [ ("cal", Device.Params.calibration_key cal);
+          ("node", Roadmap.node_key node);
+          ("lpoly", float lpoly) ])
+  in
+  Exec.Memo.find_or_compute factors_memo ~key (fun () ->
+      let phys = doping_for_lpoly ~cal ~node ~lpoly () in
+      let pair = Circuits.Inverter.pair_of_physical ~cal phys in
+      let sizing = Circuits.Inverter.balanced_sizing () in
+      let ef = Analysis.Metrics.energy_factor pair ~sizing in
+      let df = Analysis.Metrics.delay_factor ~ioff_vdd:operating_vdd pair ~sizing in
+      (phys, pair, ef, df))
 
 let select_node ?(cal = Device.Params.default_calibration) (node : Roadmap.node) =
   let l0 = node.Roadmap.lpoly in
   let grid = Numerics.Vec.linspace (0.8 *. l0) (3.5 *. l0) 22 in
   let samples =
-    Array.to_list
-      (Array.map
-         (fun lpoly ->
-           let _, _, ef, df = factors_at ~cal ~node ~lpoly () in
-           (lpoly, ef, df))
-         grid)
+    Exec.map
+      (fun lpoly ->
+        let _, _, ef, df = factors_at ~cal ~node ~lpoly () in
+        (lpoly, ef, df))
+      (Array.to_list grid)
   in
   let energy_of lpoly =
     let _, _, ef, _ = factors_at ~cal ~node ~lpoly () in
@@ -78,6 +93,6 @@ let select_node ?(cal = Device.Params.default_calibration) (node : Roadmap.node)
   let phys, pair, _, _ = factors_at ~cal ~node ~lpoly:lpoly_opt () in
   { node; phys; pair; lpoly_grid = samples }
 
-let all ?cal () = List.map (fun n -> select_node ?cal n) Roadmap.nodes
+let all ?cal () = Exec.map (fun n -> select_node ?cal n) Roadmap.nodes
 
-let all_with_130 ?cal () = List.map (fun n -> select_node ?cal n) Roadmap.nodes_with_130
+let all_with_130 ?cal () = Exec.map (fun n -> select_node ?cal n) Roadmap.nodes_with_130

@@ -27,6 +27,6 @@ let select_node ?(cal = Device.Params.default_calibration) (node : Roadmap.node)
   in
   { node; phys; pair = Circuits.Inverter.pair_of_physical ~cal phys }
 
-let all ?cal () = List.map (fun n -> select_node ?cal n) Roadmap.nodes
+let all ?cal () = Exec.map (fun n -> select_node ?cal n) Roadmap.nodes
 
-let all_with_130 ?cal () = List.map (fun n -> select_node ?cal n) Roadmap.nodes_with_130
+let all_with_130 ?cal () = Exec.map (fun n -> select_node ?cal n) Roadmap.nodes_with_130

@@ -160,6 +160,12 @@ type characteristics = {
   leff : float;
 }
 
+(* A full characterization is three Id-Vg sweeps — dozens of ramped Gummel
+   solves — and depends only on the device description and the supply, so
+   two sweep points sharing a device solve the TCAD system exactly once. *)
+let characterize_memo : characteristics Exec.Memo.t =
+  Exec.Memo.create ~name:"tcad.characterize" ()
+
 let characterize ?(vdd = 0.9) dev =
   let sweep_lin = id_vg dev ~vd:0.05 ~vg_max:(Float.max vdd 0.9) in
   let sweep_sat = id_vg dev ~vd:vdd ~vg_max:(Float.max vdd 0.9) in
@@ -180,3 +186,16 @@ let characterize ?(vdd = 0.9) dev =
     on_off_ratio_sub = ion_sub /. Float.max ioff_sub 1e-300;
     leff = Structure.effective_channel_length dev;
   }
+
+let characterize_cached ?(vdd = 0.9) dev =
+  (* The mesh dimensions are part of the key: [Structure.build] accepts
+     resolution overrides, and a coarser solve is a different result. *)
+  let key =
+    Exec.Key.(
+      fields "characterize"
+        [ ("desc", Structure.description_key dev.Structure.desc);
+          ("nx", int dev.Structure.mesh.Mesh.nx);
+          ("ny", int dev.Structure.mesh.Mesh.ny);
+          ("vdd", float vdd) ])
+  in
+  Exec.Memo.find_or_compute characterize_memo ~key (fun () -> characterize ~vdd dev)

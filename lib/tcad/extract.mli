@@ -80,3 +80,9 @@ type characteristics = {
 val characterize : ?vdd:float -> Structure.t -> characteristics
 (** Full characterization at supply [vdd] (default 0.9 V for V_th,sat) and at
     the paper's subthreshold operating point V_dd = 250 mV. *)
+
+val characterize_cached : ?vdd:float -> Structure.t -> characteristics
+(** [characterize] behind a content-addressed memo keyed on the structure's
+    description, its mesh dimensions and [vdd]: sweep points sharing
+    identical device parameters solve the TCAD decks once.  Counters appear
+    as ["tcad.characterize"] in [Exec.Memo.stats]. *)

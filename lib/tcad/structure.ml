@@ -32,6 +32,25 @@ let default_description =
     temperature = 300.0;
   }
 
+(* Canonical content key over every field that shapes the built device:
+   the mesh, doping fields and boundaries are all functions of the
+   description, so memoizing a characterization on this key is exact. *)
+let description_key (d : description) =
+  Exec.Key.(
+    fields "tcad_description"
+      [ ("polarity", (match d.polarity with Nchannel -> "n" | Pchannel -> "p"));
+        ("lpoly", float d.lpoly);
+        ("tox", float d.tox);
+        ("nsub", float d.nsub);
+        ("np_halo", float d.np_halo);
+        ("xj", float d.xj);
+        ("nsd", float d.nsd);
+        ("overlap", float d.overlap);
+        ("halo_depth_frac", float d.halo_depth_frac);
+        ("halo_sigma_frac", float d.halo_sigma_frac);
+        ("gate_doping", float d.gate_doping);
+        ("temperature", float d.temperature) ])
+
 let scale_description ?lpoly ?tox ?nsub ?np_halo d =
   let lpoly' = Option.value lpoly ~default:d.lpoly in
   let ratio = lpoly' /. d.lpoly in

@@ -24,6 +24,12 @@ val default_description : description
     dimensions proportioned as in the paper's Sec. 2.2 (all lengths except
     T_ox scale with L_poly). *)
 
+val description_key : description -> string
+(** Canonical content key over every description field (floats as exact
+    IEEE-754 bit patterns), for memoizing characterizations.  The mesh is a
+    deterministic function of the description, so this key also identifies
+    the compiled structure. *)
+
 val scale_description :
   ?lpoly:float -> ?tox:float -> ?nsub:float -> ?np_halo:float -> description -> description
 (** Derive a new description: explicitly given fields are set, and all other

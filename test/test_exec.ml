@@ -1,0 +1,308 @@
+(* The parallel execution subsystem: pool ordering and exception semantics,
+   memo-table accounting and key sensitivity, and the differential harness
+   proving that every --jobs setting produces bit-identical results. *)
+
+open Test_util
+module Exec = Subscale.Exec
+module Pool = Subscale.Exec.Pool
+module Memo = Subscale.Exec.Memo
+module P = Subscale.Device.Params
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let restore_jobs f =
+  let before = Exec.jobs () in
+  Fun.protect ~finally:(fun () -> Exec.set_jobs before) f
+
+(* --- Pool ----------------------------------------------------------- *)
+
+let test_pool_order () =
+  with_pool ~domains:4 (fun pool ->
+      let xs = List.init 200 Fun.id in
+      let f x = (3 * x) + 1 in
+      Alcotest.(check (list int)) "in input order" (List.map f xs) (Pool.map pool xs f);
+      Alcotest.(check int) "domains" 4 (Pool.domains pool);
+      Alcotest.(check int) "spawned workers" 3 (Pool.spawned pool))
+
+let test_pool_one_domain () =
+  with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "no workers spawned" 0 (Pool.spawned pool);
+      Alcotest.(check (list int)) "still maps" [ 2; 4; 6 ]
+        (Pool.map pool [ 1; 2; 3 ] (fun x -> 2 * x)))
+
+let test_pool_edges () =
+  with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool [] (fun x -> x));
+      Alcotest.(check (list int)) "singleton" [ 49 ] (Pool.map pool [ 7 ] (fun x -> x * x)))
+
+let test_pool_exception () =
+  with_pool ~domains:4 (fun pool ->
+      let f x = if x mod 5 = 3 then failwith (Printf.sprintf "boom %d" x) else x * x in
+      let xs = List.init 30 Fun.id in
+      let outcome map = try Ok (map xs f) with Failure m -> Error m in
+      let seq = outcome (fun xs f -> List.map f xs) in
+      let par = outcome (Pool.map pool) in
+      Alcotest.(check (result (list int) string))
+        "same exception as List.map (lowest index)" seq par;
+      Alcotest.(check (result (list int) string)) "raised at index 3" (Error "boom 3") par;
+      (* The failed job must not poison the pool. *)
+      Alcotest.(check (list int)) "pool survives" (List.map succ xs)
+        (Pool.map pool xs succ))
+
+let test_pool_shutdown () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.map pool [ 1 ] Fun.id with
+  | _ -> Alcotest.fail "map on a shut-down pool should raise"
+  | exception Invalid_argument _ -> ()
+
+(* Random pool widths x random work lists (empty, singleton, lengths not
+   divisible by the domain count): Pool.map must agree with List.map in
+   order, propagate the same exception, and stay usable afterwards. *)
+let prop_pool_differential =
+  prop "Pool.map = List.map (order, exceptions, survival)" ~count:50
+    QCheck2.Gen.(pair (1 -- 8) (list_size (0 -- 13) (int_range (-40) 40)))
+    (fun (domains, xs) ->
+      with_pool ~domains (fun pool ->
+          let total x = (2 * x) + 1 in
+          let partial x = if x < 0 then failwith ("neg " ^ string_of_int x) else x + 1 in
+          let outcome map f = try Ok (map f xs) with Failure m -> Error m in
+          Pool.map pool xs total = List.map total xs
+          && outcome (fun f xs' -> Pool.map pool xs' f) partial
+             = outcome (fun f xs' -> List.map f xs') partial
+          && Pool.map pool xs total = List.map total xs))
+
+(* Exec.map is the pool behind a process-wide jobs setting; nested calls
+   must fall back to sequential instead of deadlocking. *)
+let test_exec_map_nested () =
+  restore_jobs (fun () ->
+      Exec.set_jobs 4;
+      let inner x = Exec.map (fun y -> x + y) [ 10; 20 ] in
+      let nested = Exec.map inner [ 1; 2; 3 ] in
+      Alcotest.(check (list (list int)))
+        "nested maps agree with List.map"
+        (List.map (fun x -> List.map (fun y -> x + y) [ 10; 20 ]) [ 1; 2; 3 ])
+        nested)
+
+(* --- Memo ----------------------------------------------------------- *)
+
+let stat name =
+  match List.find_opt (fun (s : Memo.stats) -> s.Memo.name = name) (Memo.stats ()) with
+  | Some s -> s
+  | None -> Alcotest.failf "no memo table named %s" name
+
+let test_memo_counters () =
+  let t : int Memo.t = Memo.create ~name:"test.counters" () in
+  let calls = ref 0 in
+  let compute () = incr calls; 41 + !calls in
+  Alcotest.(check int) "first compute" 42 (Memo.find_or_compute t ~key:"a" compute);
+  Alcotest.(check int) "miss recorded" 1 (Memo.misses t);
+  Alcotest.(check int) "no hit yet" 0 (Memo.hits t);
+  Alcotest.(check int) "cached value" 42 (Memo.find_or_compute t ~key:"a" compute);
+  Alcotest.(check int) "hit recorded" 1 (Memo.hits t);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "second key misses" 43 (Memo.find_or_compute t ~key:"b" compute);
+  Alcotest.(check int) "two entries" 2 (Memo.size t);
+  Memo.clear t;
+  Alcotest.(check int) "clear empties" 0 (Memo.size t);
+  Alcotest.(check int) "clear resets hits" 0 (Memo.hits t)
+
+let test_memo_disabled () =
+  let t : int Memo.t = Memo.create ~name:"test.disabled" () in
+  let calls = ref 0 in
+  let compute () = incr calls; !calls in
+  Memo.disabled (fun () ->
+      Alcotest.(check bool) "reports disabled" false (Memo.enabled ());
+      ignore (Memo.find_or_compute t ~key:"k" compute);
+      ignore (Memo.find_or_compute t ~key:"k" compute));
+  Alcotest.(check int) "computed every time" 2 !calls;
+  Alcotest.(check int) "nothing cached" 0 (Memo.size t);
+  Alcotest.(check int) "no accounting" 0 (Memo.hits t + Memo.misses t);
+  Alcotest.(check bool) "re-enabled" true (Memo.enabled ())
+
+(* Changing any single field of the device parameters must change the
+   content key, even by one ulp — keys are bit-exact, not printf-rounded. *)
+let test_physical_key_sensitivity () =
+  let base = List.hd P.paper_table2 in
+  let bump f = f *. (1.0 +. 1e-15) in
+  let variants =
+    [ { base with P.node_nm = base.P.node_nm + 1 };
+      { base with P.lpoly = bump base.P.lpoly };
+      { base with P.tox = bump base.P.tox };
+      { base with P.nsub = bump base.P.nsub };
+      { base with P.np_halo = bump base.P.np_halo +. 1.0 };
+      { base with P.vdd = bump base.P.vdd };
+      { base with P.xj = Some 2e-8 };
+      { base with P.overlap = Some 1e-9 } ]
+  in
+  let keys = P.physical_key base :: List.map P.physical_key variants in
+  Alcotest.(check int) "all 9 keys distinct" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  let cal = P.default_calibration in
+  Alcotest.(check bool) "calibration field changes key" false
+    (P.calibration_key cal = P.calibration_key { cal with P.k_halo = bump cal.P.k_halo });
+  Alcotest.(check bool) "polarity keys distinct" false
+    (P.polarity_key P.Nfet = P.polarity_key P.Pfet)
+
+let test_doping_memo_shared () =
+  Memo.clear_all ();
+  let node = Subscale.Scaling.Roadmap.find 90 in
+  let first = Subscale.Scaling.Super_vth.select_node node in
+  let s1 = stat "scaling.doping_fit" in
+  let second = Subscale.Scaling.Super_vth.select_node node in
+  let s2 = stat "scaling.doping_fit" in
+  Alcotest.(check bool) "first run misses" true (s1.Memo.misses > 0);
+  Alcotest.(check int) "second run adds no solve" s1.Memo.misses s2.Memo.misses;
+  Alcotest.(check bool) "second run hits" true (s2.Memo.hits > s1.Memo.hits);
+  Alcotest.(check bool) "same selection" true
+    (first.Subscale.Scaling.Super_vth.phys = second.Subscale.Scaling.Super_vth.phys)
+
+(* Two sweep points with identical device parameters solve the TCAD decks
+   once; a different mesh resolution is a different key. *)
+let test_characterize_cached () =
+  Memo.clear_all ();
+  let desc = Subscale.Tcad.Structure.default_description in
+  let build () = Subscale.Tcad.Structure.build ~nx:24 ~ny:20 desc in
+  let a = Subscale.Tcad.Extract.characterize_cached ~vdd:0.9 (build ()) in
+  let s1 = stat "tcad.characterize" in
+  Alcotest.(check int) "one solve" 1 s1.Memo.misses;
+  let b = Subscale.Tcad.Extract.characterize_cached ~vdd:0.9 (build ()) in
+  let s2 = stat "tcad.characterize" in
+  Alcotest.(check int) "identical params reuse the solve" 1 s2.Memo.misses;
+  Alcotest.(check int) "hit recorded" (s1.Memo.hits + 1) s2.Memo.hits;
+  Alcotest.(check bool) "same characteristics" true (a = b);
+  ignore
+    (Subscale.Tcad.Extract.characterize_cached ~vdd:0.9
+       (Subscale.Tcad.Structure.build ~nx:20 ~ny:16 desc));
+  let s3 = stat "tcad.characterize" in
+  Alcotest.(check int) "coarser mesh is a new key" 2 s3.Memo.misses
+
+(* --- Differential harness ------------------------------------------- *)
+
+let render_outputs outs =
+  String.concat "\n"
+    (List.map
+       (fun (o : Subscale.Experiments.output) ->
+         o.Subscale.Experiments.id ^ "\n"
+         ^ Subscale.Report.Table.render o.Subscale.Experiments.table
+         ^ String.concat "\n" o.Subscale.Experiments.plots)
+       outs)
+
+(* Every table and figure of the paper set, rendered from a cold start (no
+   memo reuse across runs, fresh context) at a given jobs setting. *)
+let paper_set () =
+  Memo.clear_all ();
+  let ctx = Subscale.Experiments.make_context ~with_130:true () in
+  Subscale.Experiments.all ~measured_delay:false ctx
+
+(* The cheap extensions; the Monte-Carlo paths are covered bit-exactly by
+   test_differential_mc below at reduced trial counts. *)
+let extension_subset () =
+  Memo.clear_all ();
+  let ctx = Subscale.Experiments.make_context () in
+  [ Subscale.Experiments.ext_multi_vth ();
+    Subscale.Experiments.ext_bitline ctx;
+    Subscale.Experiments.ext_temperature ();
+    Subscale.Experiments.ext_projection ();
+    Subscale.Experiments.ext_corners ctx ]
+
+let test_differential_paper () =
+  restore_jobs (fun () ->
+      Exec.set_jobs 1;
+      let seq = render_outputs (paper_set ()) in
+      Exec.set_jobs 4;
+      let par = render_outputs (paper_set ()) in
+      Alcotest.(check string) "paper set: --jobs 4 == --jobs 1" seq par)
+
+let test_differential_extensions () =
+  restore_jobs (fun () ->
+      Exec.set_jobs 1;
+      let seq = render_outputs (extension_subset ()) in
+      Exec.set_jobs 4;
+      let par = render_outputs (extension_subset ()) in
+      Alcotest.(check string) "extensions: --jobs 4 == --jobs 1" seq par)
+
+(* Monte-Carlo fan-out: the sampled arrays themselves (not just the
+   rendered digits) must be bit-identical, because all RNG draws happen
+   sequentially in the original loop order. *)
+let test_differential_mc () =
+  let phys = List.hd P.paper_table2 in
+  let pair = Subscale.Circuits.Inverter.pair_of_physical phys in
+  restore_jobs (fun () ->
+      let run () =
+        let d =
+          Subscale.Analysis.Variability.chain_delay_distribution ~trials:64 ~stages:12
+            pair ~vdd:0.25
+        in
+        let s = Subscale.Analysis.Variability.snm_distribution ~trials:48 pair ~vdd:0.3 in
+        (d, s)
+      in
+      Exec.set_jobs 1;
+      let d1, s1 = run () in
+      Exec.set_jobs 4;
+      let d4, s4 = run () in
+      Alcotest.(check bool) "delay samples bit-identical" true
+        (d1.Subscale.Analysis.Variability.samples = d4.Subscale.Analysis.Variability.samples);
+      Alcotest.(check bool) "snm samples bit-identical" true
+        (s1.Subscale.Analysis.Variability.samples = s4.Subscale.Analysis.Variability.samples);
+      check_float ~tol:0.0 "delay mean exact" d1.Subscale.Analysis.Variability.mean
+        d4.Subscale.Analysis.Variability.mean;
+      check_float ~tol:0.0 "snm p95 exact" s1.Subscale.Analysis.Variability.p95
+        s4.Subscale.Analysis.Variability.p95)
+
+(* --- Golden regressions ---------------------------------------------- *)
+
+let golden_ids = [ "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4" ]
+
+(* dune runtest runs with cwd = test/; dune exec from the root. *)
+let read_file path =
+  let path = if Sys.file_exists path then path else Filename.concat "test" path in
+  In_channel.with_open_bin path In_channel.input_all
+
+let test_golden jobs () =
+  restore_jobs (fun () ->
+      Exec.set_jobs jobs;
+      Memo.clear_all ();
+      let ctx = Subscale.Experiments.make_context () in
+      let output = function
+        | "table1" -> Subscale.Experiments.table1 ()
+        | "table2" -> Subscale.Experiments.table2 ctx
+        | "table3" -> Subscale.Experiments.table3 ctx
+        | "fig2" -> Subscale.Experiments.fig2 ctx
+        | "fig3" -> Subscale.Experiments.fig3 ctx
+        | "fig4" -> Subscale.Experiments.fig4 ctx
+        | id -> Alcotest.failf "unknown golden id %s" id
+      in
+      List.iter
+        (fun id ->
+          let expected = read_file (Filename.concat "golden" (id ^ ".txt")) in
+          let actual = Subscale.Report.Table.render (output id).Subscale.Experiments.table in
+          Alcotest.(check string) (Printf.sprintf "%s @ jobs=%d" id jobs) expected actual)
+        golden_ids)
+
+let suite =
+  [
+    ( "exec",
+      [
+        case "pool: map preserves input order" test_pool_order;
+        case "pool: one domain spawns no workers" test_pool_one_domain;
+        case "pool: empty and singleton lists" test_pool_edges;
+        case "pool: exception parity and survival" test_pool_exception;
+        case "pool: shutdown invalidates" test_pool_shutdown;
+        prop_pool_differential;
+        case "exec: nested maps are sequential" test_exec_map_nested;
+        case "memo: hit/miss accounting" test_memo_counters;
+        case "memo: disabled scope bypasses" test_memo_disabled;
+        case "memo: keys track every field" test_physical_key_sensitivity;
+        case "memo: doping solve shared across runs" test_doping_memo_shared;
+        slow_case "memo: tcad characterization solves once" test_characterize_cached;
+        slow_case "differential: paper set jobs 1 vs 4" test_differential_paper;
+        slow_case "differential: extensions jobs 1 vs 4" test_differential_extensions;
+        slow_case "differential: Monte-Carlo samples" test_differential_mc;
+        case "golden: sequential run matches snapshots" (test_golden 1);
+        slow_case "golden: parallel run matches snapshots" (test_golden 4);
+      ] );
+  ]
