@@ -1,3 +1,11 @@
+(* The paper's Fig. 6 workload settings and V_min search bracket; exposed
+   so the validity auditor propagates intervals through the *same* model
+   the experiments run (no drift between audited and executed constants). *)
+let default_stages = 30
+let default_alpha = 0.1
+let vmin_bracket_lo = 0.08
+let vmin_bracket_hi = 0.6
+
 type breakdown = {
   vdd : float;
   e_dyn : float;
@@ -17,8 +25,8 @@ let static_leak_current pair sizing ~vdd =
   in
   0.5 *. (i_n +. i_p)
 
-let analytic ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = 30) ?(alpha = 0.1)
-    pair ~vdd =
+let analytic ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = default_stages)
+    ?(alpha = default_alpha) pair ~vdd =
   if vdd <= 0.0 then invalid_arg "Energy.analytic: vdd must be positive";
   let n = float_of_int stages in
   let cl = Circuits.Inverter.load_capacitance pair sizing in
@@ -29,8 +37,8 @@ let analytic ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = 30) ?(a
   let e_leak = i_leak *. vdd *. t_cycle in
   { vdd; e_dyn; e_leak; e_total = e_dyn +. e_leak; t_cycle }
 
-let measured ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = 30) ?(alpha = 0.1)
-    ?(steps = 900) pair ~vdd =
+let measured ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = default_stages)
+    ?(alpha = default_alpha) ?(steps = 900) pair ~vdd =
   let chain = Circuits.Chain.build ~sizing ~stages pair ~vdd in
   let sys = Spice.Mna.build chain.Circuits.Chain.fixture.Circuits.Inverter.circuit in
   let period = chain.Circuits.Chain.period in
@@ -61,8 +69,8 @@ let measured ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = 30) ?(a
 
 type vmin_result = { vmin : float; e_min : float; curve : (float * breakdown) list }
 
-let vmin ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = 30) ?(alpha = 0.1)
-    ?(lo = 0.08) ?(hi = 0.6) pair =
+let vmin ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = default_stages)
+    ?(alpha = default_alpha) ?(lo = vmin_bracket_lo) ?(hi = vmin_bracket_hi) pair =
   let energy vdd = (analytic ~sizing ~stages ~alpha pair ~vdd).e_total in
   let vmin, e_min = Numerics.Minimize.grid_then_golden ~samples:40 ~tol:1e-7 energy lo hi in
   let samples = Numerics.Vec.linspace lo hi 40 in

@@ -9,6 +9,18 @@
     Measured route: transient supply-energy integration over one input
     cycle of the real 30-stage chain. *)
 
+val default_stages : int
+(** The paper's Fig. 6 chain length (30). *)
+
+val default_alpha : float
+(** The paper's activity factor (0.1). *)
+
+val vmin_bracket_lo : float
+val vmin_bracket_hi : float
+(** Default search bracket of {!vmin} (80 mV .. 0.6 V); the validity
+    auditor checks the lower edge stays above the Eq. 1 drain-saturation
+    floor 3kT/q at the audited temperature. *)
+
 type breakdown = {
   vdd : float;
   e_dyn : float;  (** [J] per cycle *)

@@ -6,11 +6,15 @@
     solver, so checking is cheap enough to run on every entry point. *)
 
 module Diagnostic = Diagnostic
+module Rules = Rules
+module Interval = Interval
 module Netlist_drc = Netlist_drc
 module Device_rules = Device_rules
 module Structure_rules = Structure_rules
 module Design_rules = Design_rules
 module Finite = Finite
+module Validity_rules = Validity_rules
+module Memo_soundness = Memo_soundness
 
 exception Check_failed of Diagnostic.t list
 (** Raised by {!assert_clean}; carries every diagnostic, errors first. *)

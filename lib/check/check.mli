@@ -12,11 +12,15 @@
     the guard is enabled. *)
 
 module Diagnostic = Diagnostic
+module Rules = Rules
+module Interval = Interval
 module Netlist_drc = Netlist_drc
 module Device_rules = Device_rules
 module Structure_rules = Structure_rules
 module Design_rules = Design_rules
 module Finite = Finite
+module Validity_rules = Validity_rules
+module Memo_soundness = Memo_soundness
 
 exception Check_failed of Diagnostic.t list
 

@@ -1,3 +1,11 @@
+(* Rule ids minted through the registry: a collision with any other
+   checker is a hard failure at initialization ([Rules.Duplicate_rule]). *)
+let rule_no_outputs = Rules.register ~summary:"the design has no outputs" "sta-no-outputs"
+let rule_unconnected_pin = Rules.register ~summary:"a gate input is unconnected" "sta-unconnected-pin"
+let rule_undriven_output = Rules.register ~summary:"an output net is never driven" "sta-undriven-output"
+let rule_comb_loop = Rules.register ~summary:"combinational logic forms a cycle" "sta-comb-loop"
+let rule_dead_logic = Rules.register ~summary:"a gate drives nothing reachable" "sta-dead-logic"
+
 (* Gate-level design lint.
 
    [Design.topological_gates] fails with one blanket message on any broken
@@ -28,7 +36,7 @@ let check (d : D.t) =
 
   if outputs = [] then
     emit
-      (Diagnostic.warning ~rule:"sta-no-outputs" ~location:"design"
+      (Diagnostic.warning ~rule:rule_no_outputs ~location:"design"
          ~hint:"mark at least one net with mark_output"
          "design has no primary outputs; timing analysis has nothing to report");
 
@@ -43,7 +51,7 @@ let check (d : D.t) =
           then begin
             Hashtbl.add reported_undriven i ();
             emit
-              (Diagnostic.error ~rule:"sta-unconnected-pin" ~location:(net_loc i)
+              (Diagnostic.error ~rule:rule_unconnected_pin ~location:(net_loc i)
                  ~hint:"drive the net with a gate or mark it as a primary input"
                  (Printf.sprintf "input pin of a %s gate is connected to an undriven net"
                     (Sta.Cell_lib.cell_name g.D.cell)))
@@ -56,7 +64,7 @@ let check (d : D.t) =
     (fun o ->
       if (not driven.(o)) && not is_input.(o) then
         emit
-          (Diagnostic.error ~rule:"sta-undriven-output" ~location:(net_loc o)
+          (Diagnostic.error ~rule:rule_undriven_output ~location:(net_loc o)
              ~hint:"connect a gate output (or a primary input) to the port"
              "primary output has no driver"))
     outputs;
@@ -84,7 +92,7 @@ let check (d : D.t) =
   List.iter
     (fun (g : D.gate) ->
       emit
-        (Diagnostic.error ~rule:"sta-comb-loop" ~location:(net_loc g.D.output)
+        (Diagnostic.error ~rule:rule_comb_loop ~location:(net_loc g.D.output)
            ~hint:"break the cycle with a register or re-derive the net"
            (Printf.sprintf "%s gate sits on a combinational loop"
               (Sta.Cell_lib.cell_name g.D.cell))))
@@ -115,7 +123,7 @@ let check (d : D.t) =
       (fun (g : D.gate) ->
         if not useful.(g.D.output) then
           emit
-            (Diagnostic.warning ~rule:"sta-dead-logic" ~location:(net_loc g.D.output)
+            (Diagnostic.warning ~rule:rule_dead_logic ~location:(net_loc g.D.output)
                ~hint:"remove the gate or route its output to a primary output"
                (Printf.sprintf "%s gate output reaches no primary output"
                   (Sta.Cell_lib.cell_name g.D.cell))))

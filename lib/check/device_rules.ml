@@ -1,3 +1,12 @@
+(* Rule ids minted through the registry: a collision with any other
+   checker is a hard failure at initialization ([Rules.Duplicate_rule]). *)
+let rule_nonpositive_param = Rules.register ~summary:"a physical parameter is zero or negative" "dev-nonpositive-param"
+let rule_negative_doping = Rules.register ~summary:"a doping density is negative" "dev-negative-doping"
+let rule_param_range = Rules.register ~summary:"a parameter is outside its plausible technology range" "dev-param-range"
+let rule_halo_geometry = Rules.register ~summary:"halo/overlap geometry is inconsistent with the gate" "dev-halo-geometry"
+let rule_nonfinite_id = Rules.register ~summary:"the compact model produces a non-finite drain current" "dev-nonfinite-id"
+let rule_nonmonotonic_id = Rules.register ~summary:"drain current is not monotone in the gate drive" "dev-nonmonotonic-id"
+
 (* Device and physics validation.
 
    Rule ids:
@@ -27,14 +36,14 @@ let positive ~rule ~location what v diags =
 let check_physical (phys : P.physical) =
   let loc what = Printf.sprintf "%d nm node: %s" phys.P.node_nm what in
   let diags = [] in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "L_poly") "L_poly" phys.P.lpoly diags in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "T_ox") "T_ox" phys.P.tox diags in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "V_dd") "V_dd" phys.P.vdd diags in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "N_sub") "N_sub" phys.P.nsub diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "L_poly") "L_poly" phys.P.lpoly diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "T_ox") "T_ox" phys.P.tox diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "V_dd") "V_dd" phys.P.vdd diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "N_sub") "N_sub" phys.P.nsub diags in
   let diags =
     if Float.is_finite phys.P.np_halo && phys.P.np_halo >= 0.0 then diags
     else
-      Diagnostic.error ~rule:"dev-negative-doping" ~location:(loc "N_p,halo")
+      Diagnostic.error ~rule:rule_negative_doping ~location:(loc "N_p,halo")
         ~hint:"halo doping is a magnitude added to the body; it cannot be negative"
         (Printf.sprintf "N_p,halo = %g is negative or non-finite" phys.P.np_halo)
       :: diags
@@ -43,7 +52,7 @@ let check_physical (phys : P.physical) =
   else begin
     let range what v ~lo ~hi ~unit ~scale diags =
       if v < lo || v > hi then
-        Diagnostic.error ~rule:"dev-param-range" ~location:(loc what)
+        Diagnostic.error ~rule:rule_param_range ~location:(loc what)
           ~hint:(Printf.sprintf "expected %g..%g %s; check the unit" (scale *. lo)
                    (scale *. hi) unit)
           (Printf.sprintf "%s = %g %s is outside the physical envelope" what (scale *. v)
@@ -62,7 +71,7 @@ let check_physical (phys : P.physical) =
     in
     let diags =
       if phys.P.tox >= phys.P.lpoly then
-        Diagnostic.error ~rule:"dev-param-range" ~location:(loc "T_ox vs L_poly")
+        Diagnostic.error ~rule:rule_param_range ~location:(loc "T_ox vs L_poly")
           ~hint:"a gate oxide thicker than the gate is a unit mistake"
           (Printf.sprintf "T_ox (%.3g nm) is not smaller than L_poly (%.3g nm)"
              (1e9 *. phys.P.tox) (1e9 *. phys.P.lpoly))
@@ -72,7 +81,7 @@ let check_physical (phys : P.physical) =
     let diags =
       match phys.P.overlap with
       | Some ov when 2.0 *. ov >= phys.P.lpoly ->
-        Diagnostic.error ~rule:"dev-halo-geometry" ~location:(loc "overlap")
+        Diagnostic.error ~rule:rule_halo_geometry ~location:(loc "overlap")
           ~hint:"2 x overlap must leave a positive effective channel"
           (Printf.sprintf "overlap (%.3g nm) consumes the whole %.3g nm gate"
              (1e9 *. ov) (1e9 *. phys.P.lpoly))
@@ -87,13 +96,13 @@ let check_physical (phys : P.physical) =
 let check_description (d : Tcad.Structure.description) =
   let loc what = Printf.sprintf "structure description: %s" what in
   let diags = [] in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "L_poly") "L_poly" d.Tcad.Structure.lpoly diags in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "T_ox") "T_ox" d.Tcad.Structure.tox diags in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "x_j") "x_j" d.Tcad.Structure.xj diags in
-  let diags = positive ~rule:"dev-nonpositive-param" ~location:(loc "temperature") "temperature" d.Tcad.Structure.temperature diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "L_poly") "L_poly" d.Tcad.Structure.lpoly diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "T_ox") "T_ox" d.Tcad.Structure.tox diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "x_j") "x_j" d.Tcad.Structure.xj diags in
+  let diags = positive ~rule:rule_nonpositive_param ~location:(loc "temperature") "temperature" d.Tcad.Structure.temperature diags in
   let neg what v diags =
     if not (Float.is_finite v) || v <= 0.0 then
-      Diagnostic.error ~rule:"dev-negative-doping" ~location:(loc what)
+      Diagnostic.error ~rule:rule_negative_doping ~location:(loc what)
         ~hint:"dopings are magnitudes; use the polarity field for the device type"
         (Printf.sprintf "%s = %g is not a positive doping magnitude" what v)
       :: diags
@@ -106,7 +115,7 @@ let check_description (d : Tcad.Structure.description) =
     if Float.is_finite d.Tcad.Structure.np_halo && d.Tcad.Structure.np_halo >= 0.0 then
       diags
     else
-      Diagnostic.error ~rule:"dev-negative-doping" ~location:(loc "N_p,halo")
+      Diagnostic.error ~rule:rule_negative_doping ~location:(loc "N_p,halo")
         (Printf.sprintf "N_p,halo = %g is negative or non-finite" d.Tcad.Structure.np_halo)
       :: diags
   in
@@ -117,7 +126,7 @@ let check_description (d : Tcad.Structure.description) =
        fractions bound where the pocket centre and spread can sit. *)
     let halo what v ~hi diags =
       if not (Float.is_finite v) || v < 0.0 || v > hi then
-        Diagnostic.error ~rule:"dev-halo-geometry" ~location:(loc what)
+        Diagnostic.error ~rule:rule_halo_geometry ~location:(loc what)
           ~hint:(Printf.sprintf "%s is a fraction of x_j; expected 0..%g" what hi)
           (Printf.sprintf "%s = %g places the halo outside the mesh" what v)
         :: diags
@@ -127,19 +136,19 @@ let check_description (d : Tcad.Structure.description) =
     let diags = halo "halo_sigma_frac" d.Tcad.Structure.halo_sigma_frac ~hi:3.0 diags in
     let diags =
       if 2.0 *. d.Tcad.Structure.overlap >= d.Tcad.Structure.lpoly then
-        Diagnostic.error ~rule:"dev-halo-geometry" ~location:(loc "overlap")
+        Diagnostic.error ~rule:rule_halo_geometry ~location:(loc "overlap")
           ~hint:"2 x overlap must leave a positive metallurgical channel"
           (Printf.sprintf "overlap (%.3g nm) consumes the whole %.3g nm gate"
              (1e9 *. d.Tcad.Structure.overlap) (1e9 *. d.Tcad.Structure.lpoly))
         :: diags
       else if d.Tcad.Structure.overlap < 0.0 then
-        Diagnostic.error ~rule:"dev-halo-geometry" ~location:(loc "overlap")
+        Diagnostic.error ~rule:rule_halo_geometry ~location:(loc "overlap")
           "overlap is negative" :: diags
       else diags
     in
     let diags =
       if d.Tcad.Structure.temperature < 77.0 || d.Tcad.Structure.temperature > 600.0 then
-        Diagnostic.warning ~rule:"dev-param-range" ~location:(loc "temperature")
+        Diagnostic.warning ~rule:rule_param_range ~location:(loc "temperature")
           ~hint:"the material models are calibrated for 77..600 K"
           (Printf.sprintf "temperature %g K is outside the calibrated range"
              d.Tcad.Structure.temperature)
@@ -162,14 +171,14 @@ let check_compact ?(points = 5) (dev : Device.Compact.t) ~vdd =
       let id = Device.Iv_model.id dev ~vgs ~vds in
       if not (Float.is_finite id) || id < 0.0 then
         out :=
-          Diagnostic.error ~rule:"dev-nonfinite-id" ~location:(loc vds)
+          Diagnostic.error ~rule:rule_nonfinite_id ~location:(loc vds)
             ~hint:"check the doping/geometry inputs of the compact model"
             (Printf.sprintf "I_d(V_gs = %g) = %g is not a finite nonnegative current" vgs
                id)
           :: !out
       else if id <= !prev then
         out :=
-          Diagnostic.error ~rule:"dev-nonmonotonic-id" ~location:(loc vds)
+          Diagnostic.error ~rule:rule_nonmonotonic_id ~location:(loc vds)
             ~hint:"I_d must grow with V_gs; a sign error upstream is likely"
             (Printf.sprintf "I_d falls from %g to %g between V_gs = %g and %g" !prev id
                !prev_vgs vgs)

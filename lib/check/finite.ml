@@ -1,3 +1,7 @@
+(* Rule ids minted through the registry: a collision with any other
+   checker is a hard failure at initialization ([Rules.Duplicate_rule]). *)
+let rule_nonfinite = Rules.register ~summary:"a numeric result is NaN or infinite" "num-nonfinite"
+
 (* Diagnostic-typed face of the numerics non-finite guard.
 
    The guard itself lives in [Numerics.Guard] (below every solver in the
@@ -18,7 +22,7 @@ let diagnostic_of_exn = function
       | Some i -> Printf.sprintf "%s, element %d" origin i
     in
     Some
-      (Diagnostic.error ~rule:"num-nonfinite" ~location
+      (Diagnostic.error ~rule:rule_nonfinite ~location
          ~hint:"run the checker on the inputs; a malformed deck is the usual cause"
          (Printf.sprintf "first non-finite value (%h) produced here" value))
   | _ -> None

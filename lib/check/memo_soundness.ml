@@ -1,0 +1,69 @@
+(* Determinism and memo-soundness rules — the second half of [subscale
+   audit].
+
+   A memo table is sound iff its key covers everything the cached
+   computation reads: any input that can vary between calls but is not
+   encoded in the key is a stale-cache hazard (two different inputs alias
+   to one cache line; whichever computes first poisons the other).  Three
+   independent mechanisms triangulate this:
+
+   - AUD011 (static): the traced read-set of a computation (collected by
+     [Device.Params.Trace]) is cross-checked against the field list its
+     key encodes, and each keyed field is differentially checked to
+     actually move the key;
+   - AUD012 (dynamic): [Exec.Memo]'s audit mode recomputes on every hit
+     and records any cached-vs-fresh mismatch — catching hazards through
+     inputs no trace instruments (globals, environment);
+   - AUD013 (schedules): a sweep replayed under adversarial pool
+     schedules ([Exec.set_schedule_seed]) must produce bit-exact output;
+     a diff convicts order dependence no order-preserving golden test can
+     see, because the natural schedule is exactly the one the golden run
+     used. *)
+
+let rule_key_coverage =
+  Rules.register ~summary:"memo key does not cover the computation's read-set" "AUD011"
+
+let rule_shadow_mismatch =
+  Rules.register ~summary:"memo shadow recompute disagreed with the cached value" "AUD012"
+
+let rule_schedule_mismatch =
+  Rules.register ~summary:"sweep output differs under a perturbed pool schedule" "AUD013"
+
+let cross_check ~what ~covered ~reads =
+  let uncovered = List.filter (fun r -> not (List.mem r covered)) reads in
+  List.map
+    (fun field ->
+      Diagnostic.error ~rule:rule_key_coverage ~location:what
+        ~hint:"add the field to the Exec.Key encoding (and to its *_key_fields list)"
+        (Printf.sprintf
+           "field %S is read by the computation but not encoded in its memo key — a stale-cache hazard"
+           field))
+    uncovered
+
+let key_sensitivity ~what ~field ~base_key ~perturbed_key =
+  if String.equal base_key perturbed_key then
+    [
+      Diagnostic.error ~rule:rule_key_coverage ~location:what
+        ~hint:"the key encoder drops or collapses this field"
+        (Printf.sprintf
+           "perturbing field %S does not change the memo key — two distinct inputs share a cache line"
+           field);
+    ]
+  else []
+
+let of_violations violations =
+  List.map
+    (fun (table, key) ->
+      Diagnostic.error ~rule:rule_shadow_mismatch ~location:(Printf.sprintf "memo table %S" table)
+        ~hint:"the key misses an input the thunk reads; widen the key"
+        (Printf.sprintf
+           "shadow recompute on a cache hit disagreed with the cached value (key %s)"
+           (if String.length key > 48 then String.sub key 0 48 ^ "..." else key)))
+    violations
+
+let schedule_mismatch ~what ~seed =
+  Diagnostic.error ~rule:rule_schedule_mismatch ~location:what
+    ~hint:"look for shared mutable state or accumulation-order dependence in the mapped tasks"
+    (Printf.sprintf
+       "sweep output is not bit-exact under perturbed pool schedule (seed %d) — the parallel engine's determinism contract is broken"
+       seed)

@@ -1,0 +1,27 @@
+(** Determinism and memo-soundness rules — the second half of
+    [subscale audit].
+
+    A memo table is sound iff its key covers everything the cached
+    computation reads.  Three independent mechanisms triangulate this:
+    the static read-set/key cross-check and key-sensitivity differential
+    ([AUD011]), the dynamic shadow-recompute audit of [Exec.Memo]
+    ([AUD012]), and the schedule-perturbation replay harness ([AUD013]). *)
+
+val cross_check :
+  what:string -> covered:string list -> reads:string list -> Diagnostic.t list
+(** One [AUD011] error per field in [reads] (a traced read-set, e.g. from
+    [Device.Params.Trace.collect]) that is absent from [covered] (the
+    field list the memo key encodes). *)
+
+val key_sensitivity :
+  what:string -> field:string -> base_key:string -> perturbed_key:string -> Diagnostic.t list
+(** [AUD011] error if perturbing [field] left the key unchanged — the
+    encoder drops or collapses the field, so two distinct inputs alias. *)
+
+val of_violations : (string * string) list -> Diagnostic.t list
+(** [AUD012] errors from [Exec.Memo.audit_violations ()] — one per
+    [(table, key)] whose shadow recompute disagreed with the cache. *)
+
+val schedule_mismatch : what:string -> seed:int -> Diagnostic.t
+(** [AUD013]: a sweep's output was not bit-exact under the perturbed
+    schedule with this seed. *)

@@ -1,3 +1,13 @@
+(* Rule ids minted through the registry: a collision with any other
+   checker is a hard failure at initialization ([Rules.Duplicate_rule]). *)
+let rule_nonpositive_value = Rules.register ~summary:"a component value is zero or negative" "net-nonpositive-value"
+let rule_bad_waveform = Rules.register ~summary:"a source waveform is ill-formed" "net-bad-waveform"
+let rule_floating_node = Rules.register ~summary:"a node has too few connections" "net-floating-node"
+let rule_no_dc_path = Rules.register ~summary:"a node has no DC path to ground" "net-no-dc-path"
+let rule_vsource_loop = Rules.register ~summary:"voltage sources form a loop" "net-vsource-loop"
+let rule_undriven_gate = Rules.register ~summary:"a MOSFET gate is undriven" "net-undriven-gate"
+let rule_multi_driven = Rules.register ~summary:"a node is driven by multiple sources" "net-multi-driven"
+
 (* Netlist design-rule checks.
 
    Everything here is topological or a plain value test: no solver is
@@ -82,7 +92,7 @@ let check c =
   (* net-nonpositive-value: element value sanity. *)
   let bad_value what v loc =
     emit
-      (Diagnostic.error ~rule:"net-nonpositive-value" ~location:loc
+      (Diagnostic.error ~rule:rule_nonpositive_value ~location:loc
          ~hint:(Printf.sprintf "give the %s a positive finite value" what)
          (Printf.sprintf "%s value %g is not a positive finite number" what v))
   in
@@ -106,7 +116,7 @@ let check c =
       match wave with
       | N.Pwl [] ->
         emit
-          (Diagnostic.error ~rule:"net-bad-waveform"
+          (Diagnostic.error ~rule:rule_bad_waveform
              ~location:(Printf.sprintf "voltage source %s" src)
              ~hint:"build Pwl waveforms with Netlist.pwl"
              "Pwl waveform has no points")
@@ -117,7 +127,7 @@ let check c =
         in
         if not (sorted points) then
           emit
-            (Diagnostic.error ~rule:"net-bad-waveform"
+            (Diagnostic.error ~rule:rule_bad_waveform
                ~location:(Printf.sprintf "voltage source %s" src)
                ~hint:"build Pwl waveforms with Netlist.pwl"
                "Pwl points are not strictly time-sorted")
@@ -136,18 +146,18 @@ let check c =
   for nd = 1 to n - 1 do
     if degree.(nd) = 0 then
       emit
-        (Diagnostic.error ~rule:"net-floating-node" ~location:(name nd)
+        (Diagnostic.error ~rule:rule_floating_node ~location:(name nd)
            ~hint:"remove the node or connect an element to it"
            "node is connected to nothing")
     else if degree.(nd) = 1 then begin
       if vsource_terminal.(nd) = 1 then
         emit
-          (Diagnostic.warning ~rule:"net-floating-node" ~location:(name nd)
+          (Diagnostic.warning ~rule:rule_floating_node ~location:(name nd)
              ~hint:"the source sees no load; remove it if unintended"
              "voltage source terminal drives nothing")
       else
         emit
-          (Diagnostic.error ~rule:"net-floating-node" ~location:(name nd)
+          (Diagnostic.error ~rule:rule_floating_node ~location:(name nd)
              ~hint:"every node needs at least two connections to carry current"
              "node dangles from a single element terminal")
     end
@@ -171,7 +181,7 @@ let check c =
   for nd = 1 to n - 1 do
     if non_gate_degree.(nd) > 0 && not (Uf.same uf nd N.ground) then
       emit
-        (Diagnostic.error ~rule:"net-no-dc-path" ~location:(name nd)
+        (Diagnostic.error ~rule:rule_no_dc_path ~location:(name nd)
            ~hint:
              "capacitors and current sources carry no DC; add a resistive, \
               source or channel path to ground"
@@ -187,7 +197,7 @@ let check c =
     (fun (src, plus, minus, _) ->
       if Uf.same vuf plus minus then
         emit
-          (Diagnostic.error ~rule:"net-vsource-loop"
+          (Diagnostic.error ~rule:rule_vsource_loop
              ~location:(Printf.sprintf "voltage source %s (%s to %s)" src
                           (N.node_name c plus) (N.node_name c minus))
              ~hint:"break the loop with a series resistance or drop one source"
@@ -202,7 +212,7 @@ let check c =
       | N.Nmos { gate; _ } | N.Pmos { gate; _ } ->
         if gate <> N.ground && non_gate_degree.(gate) = 0 then
           emit
-            (Diagnostic.error ~rule:"net-undriven-gate"
+            (Diagnostic.error ~rule:rule_undriven_gate
                ~location:(Printf.sprintf "%s gate at %s" (describe_element e) (name gate))
                ~hint:"drive the gate from a source or another stage's output"
                "MOSFET gate is driven by nothing")
@@ -222,14 +232,14 @@ let check c =
       (match Hashtbl.find_opt plus_driven plus with
        | Some first when plus <> N.ground ->
          emit
-           (Diagnostic.error ~rule:"net-multi-driven" ~location:(name plus)
+           (Diagnostic.error ~rule:rule_multi_driven ~location:(name plus)
               ~hint:"a net can be forced by at most one voltage source"
               (Printf.sprintf "net is driven by voltage sources %s and %s" first src))
        | _ -> Hashtbl.replace plus_driven plus src);
       match Hashtbl.find_opt seen_names src with
       | Some () ->
         emit
-          (Diagnostic.error ~rule:"net-multi-driven"
+          (Diagnostic.error ~rule:rule_multi_driven
              ~location:(Printf.sprintf "voltage source %s" src)
              ~hint:"give every voltage source a unique name"
              "duplicate voltage-source name (current readback and overrides \

@@ -1,0 +1,64 @@
+(* Process-wide registry of static-analysis rule ids.
+
+   Every rule id in lib/check is minted through [register] at module
+   initialization, so two modules claiming the same id collide the moment
+   the library is linked rather than silently shadowing each other in
+   reports.  [selftest] re-validates the table (count, shape) for the
+   [subscale check --selftest] / [subscale audit --selftest] paths. *)
+
+type entry = { id : string; summary : string }
+
+exception Duplicate_rule of string
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+let order : string list ref = ref []
+let lock = Mutex.create ()
+
+let register ?(summary = "") id =
+  Mutex.lock lock;
+  let dup = Hashtbl.mem table id in
+  if not dup then begin
+    Hashtbl.add table id { id; summary };
+    order := id :: !order
+  end;
+  Mutex.unlock lock;
+  if dup then raise (Duplicate_rule id);
+  id
+
+let is_registered id =
+  Mutex.lock lock;
+  let r = Hashtbl.mem table id in
+  Mutex.unlock lock;
+  r
+
+let all () =
+  Mutex.lock lock;
+  let entries = List.rev_map (fun id -> Hashtbl.find table id) !order in
+  Mutex.unlock lock;
+  entries
+
+(* A well-formed id is either kebab-case ("net-floating-node") or an
+   AUD-series id ("AUD001"). *)
+let well_formed id =
+  let kebab =
+    String.length id > 0
+    && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-') id
+  in
+  let aud =
+    String.length id = 6
+    && String.sub id 0 3 = "AUD"
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub id 3 3)
+  in
+  kebab || aud
+
+let selftest () =
+  let entries = all () in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.id then raise (Duplicate_rule e.id);
+      Hashtbl.add seen e.id ();
+      if not (well_formed e.id) then
+        failwith (Printf.sprintf "Rules.selftest: malformed rule id %S" e.id))
+    entries;
+  List.length entries

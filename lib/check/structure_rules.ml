@@ -1,3 +1,10 @@
+(* Rule ids minted through the registry: a collision with any other
+   checker is a hard failure at initialization ([Rules.Duplicate_rule]). *)
+let rule_mesh_spacing = Rules.register ~summary:"mesh spacing violates discretization limits" "tcad-mesh-spacing"
+let rule_aspect_ratio = Rules.register ~summary:"mesh cell aspect ratio is extreme" "tcad-aspect-ratio"
+let rule_contact_coverage = Rules.register ~summary:"a contact covers too little of the surface" "tcad-contact-coverage"
+let rule_charge_neutrality = Rules.register ~summary:"doping violates charge-neutrality expectations" "tcad-charge-neutrality"
+
 (* Built-structure checks: the compiled mesh + doping + boundary deck,
    validated against what the Poisson/continuity discretization can
    actually digest.
@@ -26,7 +33,7 @@ let axis_checks ~axis_name ~max_growth ~min_spacing axis diags =
     let h = axis.(i + 1) -. axis.(i) in
     if h < min_spacing then
       out :=
-        Diagnostic.error ~rule:"tcad-mesh-spacing"
+        Diagnostic.error ~rule:rule_mesh_spacing
           ~location:(Printf.sprintf "%s axis, interval %d" axis_name i)
           ~hint:"merge the nearly coincident mesh lines"
           (Printf.sprintf "spacing %.3g nm is below the %.3g nm floor" (1e9 *. h)
@@ -38,7 +45,7 @@ let axis_checks ~axis_name ~max_growth ~min_spacing axis diags =
     let r = Float.max (a /. b) (b /. a) in
     if r > max_growth then
       out :=
-        Diagnostic.warning ~rule:"tcad-mesh-spacing"
+        Diagnostic.warning ~rule:rule_mesh_spacing
           ~location:(Printf.sprintf "%s axis, lines %d..%d" axis_name i (i + 2))
           ~hint:"grade the mesh so neighbouring intervals differ by < 3.5x"
           (Printf.sprintf "adjacent spacings differ by %.1fx (truncation error grows)" r)
@@ -70,7 +77,7 @@ let check ?(max_growth = default_max_growth) ?(max_aspect = default_max_aspect)
   done;
   let diags =
     if !worst > max_aspect then
-      Diagnostic.warning ~rule:"tcad-aspect-ratio"
+      Diagnostic.warning ~rule:rule_aspect_ratio
         ~location:(Printf.sprintf "cell (%d, %d)" !wix !wiy)
         ~hint:"refine the coarse direction or coarsen the fine one"
         (Printf.sprintf "control volume aspect ratio %.0f exceeds %.0f" !worst max_aspect)
@@ -91,12 +98,12 @@ let check ?(max_growth = default_max_growth) ?(max_aspect = default_max_aspect)
   in
   let need what n diags =
     if n = 0 then
-      Diagnostic.error ~rule:"tcad-contact-coverage"
+      Diagnostic.error ~rule:rule_contact_coverage
         ~location:(Printf.sprintf "%s contact" what)
         ~hint:"the bias cannot be applied without boundary nodes"
         "terminal has no boundary nodes" :: diags
     else if n = 1 then
-      Diagnostic.warning ~rule:"tcad-contact-coverage"
+      Diagnostic.warning ~rule:rule_contact_coverage
         ~location:(Printf.sprintf "%s contact" what)
         ~hint:"refine the mesh under the contact"
         "terminal is resolved by a single mesh node" :: diags
@@ -125,7 +132,7 @@ let check ?(max_growth = default_max_growth) ?(max_aspect = default_max_aspect)
       in
       if Float.abs net < 10.0 *. dev.S.ni then
         diags :=
-          Diagnostic.error ~rule:"tcad-charge-neutrality"
+          Diagnostic.error ~rule:rule_charge_neutrality
             ~location:(Printf.sprintf "%s contact node %d" term_name k)
             ~hint:"move the contact onto doped material"
             (Printf.sprintf
@@ -140,7 +147,7 @@ let check ?(max_growth = default_max_growth) ?(max_aspect = default_max_aspect)
         | Some s when s <> sign ->
           Hashtbl.replace seen_sign term_name sign;
           diags :=
-            Diagnostic.error ~rule:"tcad-charge-neutrality"
+            Diagnostic.error ~rule:rule_charge_neutrality
               ~location:(Printf.sprintf "%s contact" term_name)
               ~hint:"a contact straddling a junction shorts it"
               "contact spans both doping types" :: !diags

@@ -11,7 +11,7 @@ let gate_capacitance pair sizing =
   (pair.nfet.Device.Compact.cg *. sizing.wn) +. (pair.pfet.Device.Compact.cg *. sizing.wp)
 
 let load_capacitance pair sizing =
-  let load_factor = pair.nfet.Device.Compact.cal.Device.Params.load_factor in
+  let load_factor = Device.Params.read_load_factor pair.nfet.Device.Compact.cal in
   load_factor *. gate_capacitance pair sizing
 
 type dc_fixture = {
@@ -99,7 +99,7 @@ let tapered_chain_fixture ?(sizing = balanced_sizing ()) ~scales pair ~vdd ~inpu
   Spice.Netlist.add c
     (Spice.Netlist.Voltage_source
        { name = "VIN"; plus = in_node; minus = Spice.Netlist.ground; wave = input });
-  let load_factor = pair.nfet.Device.Compact.cal.Device.Params.load_factor in
+  let load_factor = Device.Params.read_load_factor pair.nfet.Device.Compact.cal in
   let scaled k = { wn = sizing.wn *. scales.(k); wp = sizing.wp *. scales.(k) } in
   let nodes = Array.make (stages + 1) in_node in
   let prev = ref in_node in

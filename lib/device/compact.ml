@@ -22,48 +22,52 @@ type t = {
 
 let sd_doping = Physics.Constants.per_cm3 1.0e20
 
+(* Field reads go through the [Params.read_*] traced accessors so the
+   memo-soundness auditor can record the exact parameter read-set of a
+   characterization and cross-check it against the memo key coverage. *)
 let build ?(t = Physics.Constants.t_room) polarity cal (phys : Params.physical) =
   let vt = Physics.Constants.thermal_voltage t in
+  let tox = Params.read_tox phys in
+  let lpoly = Params.read_lpoly phys in
   let xj =
-    match phys.Params.xj with
+    match Params.read_xj phys with
     | Some v -> v
-    | None -> cal.Params.xj_fraction *. phys.Params.lpoly
+    | None -> Params.read_xj_fraction cal *. lpoly
   in
   let overlap =
-    match phys.Params.overlap with
+    match Params.read_overlap phys with
     | Some v -> v
-    | None -> cal.Params.overlap_fraction *. phys.Params.lpoly
+    | None -> Params.read_overlap_fraction cal *. lpoly
   in
-  let leff = phys.Params.lpoly -. (2.0 *. overlap) in
+  let leff = lpoly -. (2.0 *. overlap) in
   if leff <= 0.0 then invalid_arg "Compact.build: overlap consumes the whole gate";
   (* Channel-averaged halo weight: the pockets occupy a width ~ x_j on each
      side, so their share of the channel falls as the channel lengthens —
      the reason long-channel devices shed their halos (paper Sec. 3.1). *)
-  let halo_fraction = Float.min 0.85 (cal.Params.k_halo *. xj /. leff) in
+  let halo_fraction = Float.min 0.85 (Params.read_k_halo cal *. xj /. leff) in
+  let nsub = Params.read_nsub phys in
   let nhalo = Params.nhalo_net phys in
-  let neff = phys.Params.nsub +. (halo_fraction *. (nhalo -. phys.Params.nsub)) in
+  let neff = nsub +. (halo_fraction *. (nhalo -. nsub)) in
   let phi_f = Physics.Silicon.fermi_potential ~t neff in
   let wdep = Physics.Silicon.depletion_width ~psi:(2.0 *. phi_f) ~doping:neff in
-  let cox = Capacitance.oxide_area_capacitance ~tox:phys.Params.tox in
+  let cox = Capacitance.oxide_area_capacitance ~tox in
   let ss =
-    Subthreshold.inverse_slope ~k_body:cal.Params.k_body ~k_sce:cal.Params.k_sce
-      ~k_lambda:cal.Params.k_lambda ~ss_offset:cal.Params.ss_offset ~t
-      ~xj_exp:cal.Params.lambda_xj_exp ~xj
-      ~tox:phys.Params.tox ~wdep ~leff ()
+    Subthreshold.inverse_slope ~k_body:(Params.read_k_body cal)
+      ~k_sce:(Params.read_k_sce cal) ~k_lambda:(Params.read_k_lambda cal)
+      ~ss_offset:(Params.read_ss_offset cal) ~t
+      ~xj_exp:(Params.read_lambda_xj_exp cal) ~xj ~tox ~wdep ~leff ()
   in
   let m = ss /. (2.3 *. vt) in
   let vth0 = Threshold.long_channel ~t ~neff ~cox () in
   let vbi = Physics.Silicon.builtin_potential ~t neff sd_doping in
-  let lt = Threshold.characteristic_length ~tox:phys.Params.tox ~wdep in
+  let lt = Threshold.characteristic_length ~tox ~wdep in
   let carrier =
     match polarity with
     | Params.Nfet -> Physics.Mobility.Electron
     | Params.Pfet -> Physics.Mobility.Hole
   in
-  let mu = cal.Params.mu_factor *. Physics.Mobility.channel ~t carrier neff in
-  let cg =
-    Capacitance.gate ~fringe:cal.Params.fringe_cap ~tox:phys.Params.tox ~leff ~overlap ()
-  in
+  let mu = Params.read_mu_factor cal *. Physics.Mobility.channel ~t carrier neff in
+  let cg = Capacitance.gate ~fringe:(Params.read_fringe_cap cal) ~tox ~leff ~overlap () in
   let cg_intrinsic = cox *. (leff +. (2.0 *. overlap)) in
   {
     phys;
@@ -92,15 +96,17 @@ let pfet ?(cal = Params.default_calibration) ?t phys = build ?t Params.Pfet cal 
 
 let vth dev ~vds =
   dev.vth0
-  +. Threshold.rolloff ~k_vth_sce:dev.cal.Params.k_vth_sce ~k_dibl:dev.cal.Params.k_dibl
-       ~vbi:dev.vbi ~surface_potential:(2.0 *. dev.phi_f) ~vds ~leff:dev.leff ~lt:dev.lt ()
-  +. dev.cal.Params.vth_offset
+  +. Threshold.rolloff ~k_vth_sce:(Params.read_k_vth_sce dev.cal)
+       ~k_dibl:(Params.read_k_dibl dev.cal) ~vbi:dev.vbi
+       ~surface_potential:(2.0 *. dev.phi_f) ~vds ~leff:dev.leff ~lt:dev.lt ()
+  +. Params.read_vth_offset dev.cal
 
 let with_vth_shift dev shift =
   { dev with cal = { dev.cal with Params.vth_offset = dev.cal.Params.vth_offset +. shift } }
 
 let dibl dev =
-  dev.cal.Params.k_vth_sce *. dev.cal.Params.k_dibl *. exp (-.dev.leff /. (2.0 *. dev.lt))
+  Params.read_k_vth_sce dev.cal *. Params.read_k_dibl dev.cal
+  *. exp (-.dev.leff /. (2.0 *. dev.lt))
 
 let mobility_ratio =
   Physics.Mobility.channel Physics.Mobility.Electron (Physics.Constants.per_cm3 2e18)

@@ -27,6 +27,10 @@ type t = {
   temperature : float;
 }
 
+val sd_doping : float
+(** Source/drain doping used for V_bi and the TCAD wells [m^-3] — exposed
+    so the validity auditor mirrors V_bi with the same constant. *)
+
 val nfet : ?cal:Params.calibration -> ?t:float -> Params.physical -> t
 (** [t] is the lattice temperature [K] (default 300) — it scales the thermal
     voltage (and hence S_S), the intrinsic density (V_th falls with T) and

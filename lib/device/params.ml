@@ -9,8 +9,6 @@ type physical = {
   overlap : float option;
 }
 
-let nhalo_net p = p.nsub +. p.np_halo
-
 type calibration = {
   xj_fraction : float;
   overlap_fraction : float;
@@ -50,6 +48,74 @@ let default_calibration =
 
 type polarity = Nfet | Pfet
 
+(* Shadow tracing of parameter-field reads.
+
+   The memo-soundness auditor must know which fields a cached computation
+   *actually* consumed, to cross-check them against the fields its
+   [Exec.Key] encodes: a field that is read but not keyed is a stale-cache
+   hazard.  Model code reads fields through the [read_*] accessors below;
+   when a trace is active each access records its field name.  Tracing is
+   meant for the (sequential) audit pass — when inactive the accessors cost
+   one ref read. *)
+module Trace = struct
+  let lock = Mutex.create ()
+  let active : (string, unit) Hashtbl.t option ref = ref None
+
+  let record field =
+    match !active with
+    | None -> ()
+    | Some _ ->
+      Mutex.lock lock;
+      (match !active with
+       | Some tbl -> Hashtbl.replace tbl field ()
+       | None -> ());
+      Mutex.unlock lock
+
+  let collect f =
+    Mutex.lock lock;
+    let saved = !active in
+    let tbl = Hashtbl.create 32 in
+    active := Some tbl;
+    Mutex.unlock lock;
+    let restore () =
+      Mutex.lock lock;
+      active := saved;
+      Mutex.unlock lock
+    in
+    let v = try f () with e -> restore (); raise e in
+    restore ();
+    let reads = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+    (v, reads)
+end
+
+(* Traced accessors, one per field the device model consumes. *)
+let read_node_nm p = Trace.record "node_nm"; p.node_nm
+let read_lpoly p = Trace.record "lpoly"; p.lpoly
+let read_tox p = Trace.record "tox"; p.tox
+let read_nsub p = Trace.record "nsub"; p.nsub
+let read_np_halo p = Trace.record "np_halo"; p.np_halo
+let read_vdd p = Trace.record "vdd"; p.vdd
+let read_xj p = Trace.record "xj"; p.xj
+let read_overlap p = Trace.record "overlap"; p.overlap
+
+let read_xj_fraction c = Trace.record "xj_fraction"; c.xj_fraction
+let read_overlap_fraction c = Trace.record "overlap_fraction"; c.overlap_fraction
+let read_k_halo c = Trace.record "k_halo"; c.k_halo
+let read_k_body c = Trace.record "k_body"; c.k_body
+let read_k_sce c = Trace.record "k_sce"; c.k_sce
+let read_k_lambda c = Trace.record "k_lambda"; c.k_lambda
+let read_lambda_xj_exp c = Trace.record "lambda_xj_exp"; c.lambda_xj_exp
+let read_halo_sce_exp c = Trace.record "halo_sce_exp"; c.halo_sce_exp
+let read_ss_offset c = Trace.record "ss_offset"; c.ss_offset
+let read_k_vth_sce c = Trace.record "k_vth_sce"; c.k_vth_sce
+let read_k_dibl c = Trace.record "k_dibl"; c.k_dibl
+let read_vth_offset c = Trace.record "vth_offset"; c.vth_offset
+let read_mu_factor c = Trace.record "mu_factor"; c.mu_factor
+let read_fringe_cap c = Trace.record "fringe_cap"; c.fringe_cap
+let read_load_factor c = Trace.record "load_factor"; c.load_factor
+
+let nhalo_net p = read_nsub p +. read_np_halo p
+
 (* Canonical content keys (Exec.Memo): every field participates, floats
    bit-exactly, so no two distinct parameter sets can share a cache line
    and changing any single field is guaranteed to produce a new key. *)
@@ -85,6 +151,17 @@ let calibration_key (c : calibration) =
         ("load_factor", float c.load_factor) ])
 
 let polarity_key = function Nfet -> "nfet" | Pfet -> "pfet"
+
+(* Kept in sync with the key builders above: the memo-soundness auditor
+   cross-checks traced read-sets against these coverage lists, so a field
+   added to the record but forgotten in the key shows up as AUD011. *)
+let physical_key_fields =
+  [ "node_nm"; "lpoly"; "tox"; "nsub"; "np_halo"; "vdd"; "xj"; "overlap" ]
+
+let calibration_key_fields =
+  [ "xj_fraction"; "overlap_fraction"; "k_halo"; "k_body"; "k_sce"; "k_lambda";
+    "lambda_xj_exp"; "halo_sce_exp"; "ss_offset"; "k_vth_sce"; "k_dibl"; "vth_offset";
+    "mu_factor"; "fringe_cap"; "load_factor" ]
 
 let nm = Physics.Constants.nm
 let cm3 = Physics.Constants.per_cm3

@@ -59,6 +59,49 @@ val default_calibration : calibration
 
 type polarity = Nfet | Pfet
 
+(** {2 Shadow tracing of parameter reads}
+
+    The memo-soundness half of [subscale audit] must know which parameter
+    fields a cached computation actually consumed.  Model code reads fields
+    through the [read_*] accessors; inside {!Trace.collect} each access
+    records its field name.  Tracing is for the sequential audit pass —
+    with no trace active an accessor costs a single ref read. *)
+
+module Trace : sig
+  val record : string -> unit
+  (** Note a field read (no-op unless a trace is active). *)
+
+  val collect : (unit -> 'a) -> 'a * string list
+  (** [collect f] runs [f] under a fresh trace and returns its result with
+      the sorted, deduplicated list of field names read.  Nested collects
+      restore the outer trace on exit. *)
+end
+
+val read_node_nm : physical -> int
+val read_lpoly : physical -> float
+val read_tox : physical -> float
+val read_nsub : physical -> float
+val read_np_halo : physical -> float
+val read_vdd : physical -> float
+val read_xj : physical -> float option
+val read_overlap : physical -> float option
+
+val read_xj_fraction : calibration -> float
+val read_overlap_fraction : calibration -> float
+val read_k_halo : calibration -> float
+val read_k_body : calibration -> float
+val read_k_sce : calibration -> float
+val read_k_lambda : calibration -> float
+val read_lambda_xj_exp : calibration -> float
+val read_halo_sce_exp : calibration -> float
+val read_ss_offset : calibration -> float
+val read_k_vth_sce : calibration -> float
+val read_k_dibl : calibration -> float
+val read_vth_offset : calibration -> float
+val read_mu_factor : calibration -> float
+val read_fringe_cap : calibration -> float
+val read_load_factor : calibration -> float
+
 val physical_key : physical -> string
 (** Canonical content key over every field (floats rendered as exact IEEE-754
     bit patterns), for [Exec.Memo] tables.  Two records produce the same key
@@ -68,6 +111,12 @@ val calibration_key : calibration -> string
 (** Canonical content key over every calibration constant. *)
 
 val polarity_key : polarity -> string
+
+val physical_key_fields : string list
+val calibration_key_fields : string list
+(** Field names encoded by {!physical_key} / {!calibration_key}, in key
+    order — the coverage sets the memo-soundness auditor checks traced
+    read-sets against. *)
 
 val paper_table2 : physical list
 (** The paper's Table 2 NFET parameters (super-V_th strategy), verbatim. *)

@@ -84,14 +84,65 @@ let get_pool n =
    keeps nesting deadlock-free and the domain count bounded at [jobs]. *)
 let busy = Atomic.make false
 
+(* Schedule perturbation (the [subscale audit --schedules] harness): with a
+   seed installed, every fan-out executes its items in a deterministic
+   pseudo-random permutation of the input order — in the pool (workers claim
+   permuted indices) and in the sequential fallbacks alike.  Outputs must be
+   bit-exact across seeds; a diff convicts hidden order dependence (shared
+   mutable state, accumulation-order sensitivity) that order-preserving
+   golden tests can never see. *)
+let schedule_seed_ref = ref None
+
+let set_schedule_seed s =
+  Mutex.lock config_lock;
+  schedule_seed_ref := s;
+  Mutex.unlock config_lock
+
+let schedule_seed () =
+  Mutex.lock config_lock;
+  let s = !schedule_seed_ref in
+  Mutex.unlock config_lock;
+  s
+
+let permutation ~seed n =
+  let st = Random.State.make [| 0x5ca1ab1e; seed; n |] in
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let seq_map_ordered order f arr =
+  let results = Array.make (Array.length arr) None in
+  Array.iter (fun i -> results.(i) <- Some (f arr.(i))) order;
+  Array.to_list (Array.map Option.get results)
+
 let map f xs =
   let n = jobs () in
-  if n <= 1 then List.map f xs
-  else if Atomic.compare_and_set busy false true then
-    Fun.protect
-      ~finally:(fun () -> Atomic.set busy false)
-      (fun () -> Pool.map (get_pool n) xs f)
-  else List.map f xs
+  match schedule_seed () with
+  | None ->
+    if n <= 1 then List.map f xs
+    else if Atomic.compare_and_set busy false true then
+      Fun.protect
+        ~finally:(fun () -> Atomic.set busy false)
+        (fun () -> Pool.map (get_pool n) xs f)
+    else List.map f xs
+  | Some seed ->
+    let arr = Array.of_list xs in
+    let len = Array.length arr in
+    if len <= 1 then List.map f xs
+    else begin
+      let order = permutation ~seed len in
+      if n <= 1 then seq_map_ordered order f arr
+      else if Atomic.compare_and_set busy false true then
+        Fun.protect
+          ~finally:(fun () -> Atomic.set busy false)
+          (fun () -> Pool.map ~order (get_pool n) xs f)
+      else seq_map_ordered order f arr
+    end
 
 let map2 f xs ys =
   if List.length xs <> List.length ys then invalid_arg "Exec.map2: length mismatch";

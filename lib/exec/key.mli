@@ -1,0 +1,26 @@
+(** Canonical content keys for the memo tables.
+
+    A key is a collision-free textual encoding of a value: floats are
+    rendered as the hex of their IEEE-754 bit pattern (so [0.25] and
+    [0.25 +. 1e-17] produce different keys, and [-0.0] differs from
+    [0.0]), and composite encodings carry field names, so two records
+    that happen to hold the same floats in different fields never share
+    a key. *)
+
+val float : float -> string
+(** Bit-exact: the hex of the IEEE-754 representation. *)
+
+val int : int -> string
+val bool : bool -> string
+
+val string : string -> string
+(** Length-prefixed so that embedded separators cannot alias. *)
+
+val option : ('a -> string) -> 'a option -> string
+val list : ('a -> string) -> 'a list -> string
+val pair : ('a -> string) -> ('b -> string) -> 'a * 'b -> string
+
+val fields : string -> (string * string) list -> string
+(** A named record: [fields "physical" [("lpoly", ...); ...]].  The field
+    names listed here are exactly what the memo-soundness auditor
+    cross-checks against traced parameter reads. *)

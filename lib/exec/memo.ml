@@ -9,7 +9,15 @@
 
    Every table registers itself in a process-wide registry so the test
    harness can reset the world ([clear_all]) and the bench can report
-   cache effectiveness ([stats]). *)
+   cache effectiveness ([stats]).
+
+   Audit mode ([set_audit] / [with_audit]) turns every cache hit into a
+   shadow recompute: the memoized thunk runs again and its fresh value is
+   compared against the cached one with the table's equality.  A mismatch
+   means the key failed to capture an input the computation depends on —
+   the stale-cache hazard the [subscale audit --memo] pass reports as
+   AUD012.  The cached value is still returned, so behaviour under audit
+   differs only in time. *)
 
 type stats = { name : string; hits : int; misses : int; size : int }
 
@@ -17,9 +25,15 @@ type 'a t = {
   name : string;
   tbl : (string, 'a) Hashtbl.t;
   lock : Mutex.t;
+  equal : 'a -> 'a -> bool;
   mutable hits : int;
   mutable misses : int;
 }
+
+(* Structural equality, except values containing functional components
+   (e.g. closures captured in result records) compare as equal — the audit
+   cannot inspect them, and flagging every such hit would drown the signal. *)
+let default_equal a b = try a = b with Invalid_argument _ -> true
 
 let registry : (unit -> unit) list ref = ref []
 let registry_stats : (unit -> stats) list ref = ref []
@@ -36,8 +50,38 @@ let disabled f =
 
 let enabled () = Atomic.get disabled_depth = 0
 
-let create ~name () =
-  let t = { name; tbl = Hashtbl.create 64; lock = Mutex.create (); hits = 0; misses = 0 } in
+(* Audit mode: shadow-recompute on every hit, record mismatches. *)
+let audit_mode = Atomic.make false
+let violations : (string * string) list ref = ref []
+let violations_lock = Mutex.create ()
+
+let set_audit on = Atomic.set audit_mode on
+let auditing () = Atomic.get audit_mode
+
+let audit_violations () =
+  Mutex.lock violations_lock;
+  let v = List.rev !violations in
+  Mutex.unlock violations_lock;
+  v
+
+let clear_audit_violations () =
+  Mutex.lock violations_lock;
+  violations := [];
+  Mutex.unlock violations_lock
+
+let with_audit f =
+  Atomic.set audit_mode true;
+  Fun.protect ~finally:(fun () -> Atomic.set audit_mode false) f
+
+let record_violation name key =
+  Mutex.lock violations_lock;
+  violations := (name, key) :: !violations;
+  Mutex.unlock violations_lock
+
+let create ?(equal = default_equal) ~name () =
+  let t =
+    { name; tbl = Hashtbl.create 64; lock = Mutex.create (); equal; hits = 0; misses = 0 }
+  in
   let clear () =
     Mutex.lock t.lock;
     Hashtbl.reset t.tbl;
@@ -65,6 +109,10 @@ let find_or_compute t ~key f =
     | Some v ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.lock;
+      if Atomic.get audit_mode then begin
+        let fresh = f () in
+        if not (t.equal v fresh) then record_violation t.name key
+      end;
       v
     | None ->
       t.misses <- t.misses + 1;

@@ -1,0 +1,63 @@
+(** Content-addressed memoization with hit/miss accounting.
+
+    A table maps a canonical key (built with {!Key}) to a computed value.
+    Tables are safe to query from any domain: lookups and insertions hold
+    a per-table mutex, but the user computation runs outside it, so two
+    domains that miss the same key concurrently both compute — the first
+    insertion wins and, because memoized functions must be pure, the
+    values are identical, so results stay deterministic either way. *)
+
+type 'a t
+
+type stats = { name : string; hits : int; misses : int; size : int }
+
+val create : ?equal:('a -> 'a -> bool) -> name:string -> unit -> 'a t
+(** A fresh table, registered process-wide for {!clear_all} / {!stats}.
+    [equal] is only consulted by the audit shadow recompute; it defaults
+    to structural equality, with values that cannot be compared
+    structurally (captured closures) treated as equal. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** Return the cached value for [key], or run the thunk, cache and return
+    its result.  The thunk runs outside the table lock. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val size : 'a t -> int
+val clear : 'a t -> unit
+
+val clear_all : unit -> unit
+(** Reset every table in the process (test/bench isolation). *)
+
+val stats : unit -> stats list
+(** Per-table counters, sorted by table name. *)
+
+(** {2 Scoped bypass} *)
+
+val disabled : (unit -> 'a) -> 'a
+(** Run with all memoization off: [find_or_compute] neither reads nor
+    writes any table.  Used by benches that must time the raw solve. *)
+
+val enabled : unit -> bool
+
+(** {2 Audit mode}
+
+    With auditing on, every cache {e hit} triggers a shadow recompute:
+    the memoized thunk runs again and its fresh value is compared against
+    the cached one with the table's [equal].  A mismatch means the key
+    failed to capture an input the computation depends on — the
+    stale-cache hazard [subscale audit --memo] reports as AUD012.  The
+    cached value is still returned, so behaviour under audit differs only
+    in time. *)
+
+val set_audit : bool -> unit
+val auditing : unit -> bool
+
+val with_audit : (unit -> 'a) -> 'a
+(** Run with auditing on, restoring it to off afterwards. *)
+
+val audit_violations : unit -> (string * string) list
+(** [(table name, key)] of every shadow-recompute mismatch recorded since
+    the last {!clear_audit_violations}, in detection order. *)
+
+val clear_audit_violations : unit -> unit

@@ -9,6 +9,12 @@
    order no matter which domain ran what, and a run with N domains is
    observationally identical to [List.map].
 
+   A [map ?order] caller can supply a permutation of the item indices:
+   claim slot [i] then executes item [order.(i)].  Because results land in
+   per-item slots, the output is identical for every permutation — the
+   schedule-perturbation audit exploits exactly this to shake out hidden
+   order dependence.
+
    Exception protocol: a raising task stops the distribution of further
    indices, every already-claimed item still completes, and [map] re-raises
    the exception of the *lowest* raising index — exactly the one a
@@ -99,7 +105,23 @@ let create ~domains =
 let domains pool = pool.domains
 let spawned pool = List.length pool.workers
 
-let map pool xs f =
+let ordered_seq_map order f arr =
+  let results = Array.make (Array.length arr) None in
+  Array.iter (fun i -> results.(i) <- Some (f arr.(i))) order;
+  Array.to_list (Array.map Option.get results)
+
+let check_order ~n = function
+  | None -> ()
+  | Some o ->
+    if Array.length o <> n then invalid_arg "Pool.map: order length mismatch";
+    let seen = Array.make n false in
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= n || seen.(i) then invalid_arg "Pool.map: order is not a permutation";
+        seen.(i) <- true)
+      o
+
+let map ?order pool xs f =
   let dead =
     Mutex.lock pool.mutex;
     let d = pool.shutdown in
@@ -107,17 +129,23 @@ let map pool xs f =
     d
   in
   if dead then invalid_arg "Pool.map: pool is shut down";
+  check_order ~n:(List.length xs) order;
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
-  | _ when pool.domains = 1 -> List.map f xs
+  | _ when pool.domains = 1 ->
+    (match order with
+     | None -> List.map f xs
+     | Some o -> ordered_seq_map o f (Array.of_list xs))
   | _ ->
     let arr = Array.of_list xs in
     let n = Array.length arr in
     let results = Array.make n None in
     let errors = Array.make n None in
     let stop = Atomic.make false in
-    let run i =
+    let item = match order with None -> fun i -> i | Some o -> fun i -> o.(i) in
+    let run slot =
+      let i = item slot in
       match f arr.(i) with
       | v -> results.(i) <- Some v
       | exception e ->

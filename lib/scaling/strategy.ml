@@ -78,6 +78,26 @@ let evaluate_uncached kind node phys pair =
     energy_at_vmin = vmin_result.Analysis.Energy.e_min;
   }
 
+(* Bit-exact content fingerprint of an evaluation, for the audit's
+   schedule-perturbation diff: two fingerprints are equal iff every float
+   field carries the same IEEE-754 bits.  The embedded evaluation_key
+   covers the identifying inputs (kind/node/parameters). *)
+let evaluation_fingerprint (e : evaluation) =
+  Exec.Key.(
+    fields "evaluation"
+      [ ("id", evaluation_key e.kind e.node e.phys e.pair);
+        ("ss", float e.ss);
+        ("vth_sat", float e.vth_sat);
+        ("ioff_nominal", float e.ioff_nominal);
+        ("ion_sub", float e.ion_sub);
+        ("on_off_sub", float e.on_off_sub);
+        ("snm_sub", float e.snm_sub);
+        ("delay_sub", float e.delay_sub);
+        ("energy_factor", float e.energy_factor);
+        ("delay_factor", float e.delay_factor);
+        ("vmin", float e.vmin);
+        ("energy_at_vmin", float e.energy_at_vmin) ])
+
 let evaluate kind node phys pair =
   Exec.Memo.find_or_compute evaluate_memo ~key:(evaluation_key kind node phys pair)
     (fun () -> evaluate_uncached kind node phys pair)

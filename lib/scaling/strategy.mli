@@ -25,6 +25,17 @@ type evaluation = {
 
 val evaluate :
   kind -> Roadmap.node -> Device.Params.physical -> Circuits.Inverter.pair -> evaluation
+(** Memoized on the (kind, node, parameters, device pair) content key. *)
+
+val evaluate_uncached :
+  kind -> Roadmap.node -> Device.Params.physical -> Circuits.Inverter.pair -> evaluation
+(** The raw solve behind {!evaluate}, bypassing the memo table — the
+    audit's reference when cross-checking cached results. *)
+
+val evaluation_fingerprint : evaluation -> string
+(** Bit-exact content fingerprint (every float as its IEEE-754 bits), for
+    the audit's schedule-perturbation diff: outputs of a sweep replayed
+    under a perturbed pool schedule must fingerprint identically. *)
 
 val super_vth_trajectory : ?cal:Device.Params.calibration -> ?with_130:bool -> unit ->
   evaluation list

@@ -51,6 +51,12 @@ let description_key (d : description) =
         ("gate_doping", float d.gate_doping);
         ("temperature", float d.temperature) ])
 
+(* Kept in sync with [description_key] above; the memo-soundness auditor
+   cross-checks this list against the fields a characterization reads. *)
+let description_key_fields =
+  [ "polarity"; "lpoly"; "tox"; "nsub"; "np_halo"; "xj"; "nsd"; "overlap";
+    "halo_depth_frac"; "halo_sigma_frac"; "gate_doping"; "temperature" ]
+
 let scale_description ?lpoly ?tox ?nsub ?np_halo d =
   let lpoly' = Option.value lpoly ~default:d.lpoly in
   let ratio = lpoly' /. d.lpoly in
@@ -98,6 +104,10 @@ let layout d =
   (w_contact, x_g0, x_g1, x_total)
 
 let depth d = Float.max (6.0 *. d.xj) (Physics.Constants.nm 80.0)
+
+let gate_span d =
+  let _, x_g0, x_g1, _ = layout d in
+  (x_g0, x_g1)
 
 let build ?(nx = 61) ?(ny = 41) d =
   if d.lpoly <= 0.0 || d.tox <= 0.0 then invalid_arg "Structure.build: bad dimensions";

@@ -30,6 +30,16 @@ val description_key : description -> string
     deterministic function of the description, so this key also identifies
     the compiled structure. *)
 
+val description_key_fields : string list
+(** The field names encoded by {!description_key}, in key order — the
+    coverage set the memo-soundness auditor checks characterization reads
+    against. *)
+
+val gate_span : description -> float * float
+(** Lateral extent [x_g0, x_g1] of the gate in the simulated structure's
+    coordinates — the window in which the mesh-resolution audit counts
+    channel mesh lines. *)
+
 val scale_description :
   ?lpoly:float -> ?tox:float -> ?nsub:float -> ?np_halo:float -> description -> description
 (** Derive a new description: explicitly given fields are set, and all other

@@ -1,0 +1,307 @@
+(* lib/check audit machinery: the interval interpreter's soundness contract
+   (concrete executions never escape propagated enclosures), the directed AUD
+   rule triggers, the memo read-set/key cross-check, Exec.Memo's shadow
+   audit, and schedule-perturbation determinism of Exec.map. *)
+
+open Subscale
+module I = Check.Interval
+module VR = Check.Validity_rules
+module MS = Check.Memo_soundness
+module Pm = Device.Params
+module Diag = Check.Diagnostic
+
+let u = Test_util.case
+let prop = Test_util.prop
+
+let rules diags = List.map (fun d -> d.Diag.rule) diags
+
+let check_fires name rule diags =
+  if not (List.mem rule (rules diags)) then
+    Alcotest.failf "%s: expected rule %s, got [%s]" name rule
+      (String.concat "; " (List.map Diag.to_string diags))
+
+let check_clean name diags =
+  if diags <> [] then
+    Alcotest.failf "%s: expected no diagnostics, got [%s]" name
+      (String.concat "; " (List.map Diag.to_string diags))
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let configs = Pm.paper_table2 @ Pm.paper_table3
+let phys90 = List.hd Pm.paper_table2
+let op = 0.25
+
+(* --- interval arithmetic soundness ------------------------------------ *)
+
+let gen_iv_pair =
+  (* An interval plus a point inside it: [c - r1, c + r1 + r2] contains
+     c, with spans crossing zero often enough to exercise the sign cases. *)
+  QCheck2.Gen.(
+    map
+      (fun (c, r1, r2) -> (I.make (c -. r1) (c +. r1 +. r2), c))
+      (triple (float_range (-5.0) 5.0) (float_range 0.0 2.0) (float_range 0.0 2.0)))
+
+let interval_op_tests =
+  [
+    prop "interval ops enclose their concrete images"
+      QCheck2.Gen.(pair gen_iv_pair gen_iv_pair)
+      (fun ((a, x), (b, y)) ->
+        I.mem (x +. y) (I.add a b)
+        && I.mem (x -. y) (I.sub a b)
+        && I.mem (x *. y) (I.mul a b)
+        && I.mem (exp (0.1 *. x)) (I.exp (I.scale 0.1 a))
+        && (I.straddles_zero b || I.mem (x /. y) (I.div a b)));
+    u "zero-straddling divisor yields top and is flagged" (fun () ->
+        let den = I.make (-1.0) 1.0 in
+        Alcotest.(check bool) "straddles" true (I.straddles_zero den);
+        let q = I.div (I.point 1.0) den in
+        Alcotest.(check bool) "unbounded" true (I.lo q = Float.neg_infinity && I.hi q = Float.infinity));
+  ]
+
+(* --- pipeline soundness: concrete metrics inside propagated enclosures - *)
+
+(* Sample a concrete parameter record inside a 10 %-widened box around a
+   shipped configuration and check every audited metric of the concrete
+   pipeline (Compact.build -> Iv_model -> Delay.eq5 -> Energy.analytic)
+   lies inside the interval the abstract interpreter propagated for the
+   box.  This is the auditor's defining contract. *)
+let gen_sound_point =
+  QCheck2.Gen.(
+    pair (int_range 0 (List.length configs - 1))
+      (quad (float_range 0.91 1.09) (float_range 0.91 1.09) (float_range 0.91 1.09)
+         (float_range 0.91 1.09)))
+
+let soundness (idx, (f_l, f_t, f_n, f_h)) =
+  let base = List.nth configs idx in
+  let phys =
+    {
+      base with
+      Pm.lpoly = base.Pm.lpoly *. f_l;
+      Pm.tox = base.Pm.tox *. f_t;
+      Pm.nsub = base.Pm.nsub *. f_n;
+      Pm.np_halo = base.Pm.np_halo *. f_h;
+      (* xj/overlap stay at the base value: the box keeps them as points *)
+    }
+  in
+  let r = VR.audit_box ~op_vdd:(I.point op) (VR.box_of_physical ~widen:0.1 base) in
+  let nfet = Device.Compact.nfet phys and pfet = Device.Compact.pfet phys in
+  let pair = { Circuits.Inverter.nfet; pfet } in
+  let sizing = Circuits.Inverter.balanced_sizing () in
+  let inside what conc (iv : I.t) =
+    if not (I.mem conc iv) then
+      QCheck2.Test.fail_reportf "%s: concrete %.17g escapes %s (config %d)" what conc
+        (I.to_string iv) idx;
+    true
+  in
+  let dev_inside tag (d : Device.Compact.t) (e : VR.derived) =
+    inside (tag ^ " leff") d.Device.Compact.leff e.VR.leff
+    && inside (tag ^ " neff") d.Device.Compact.neff e.VR.neff
+    && inside (tag ^ " ss") d.Device.Compact.ss e.VR.ss
+    && inside (tag ^ " m") d.Device.Compact.m e.VR.m
+    && inside (tag ^ " vth0") d.Device.Compact.vth0 e.VR.vth0
+    && inside (tag ^ " cg") d.Device.Compact.cg e.VR.cg
+    && inside (tag ^ " vth") (Device.Compact.vth d ~vds:op) e.VR.vth
+    && inside (tag ^ " ion") (Device.Iv_model.ion d ~vdd:op) e.VR.ion
+    && inside (tag ^ " ioff") (Device.Iv_model.ioff d ~vdd:op) e.VR.ioff
+    && inside (tag ^ " on/off") (Device.Iv_model.on_off_ratio d ~vdd:op) e.VR.on_off
+  in
+  let b = Analysis.Energy.analytic pair ~vdd:op in
+  dev_inside "nfet" nfet r.VR.nfet
+  && dev_inside "pfet" pfet r.VR.pfet
+  && inside "cl" (Circuits.Inverter.load_capacitance pair sizing) r.VR.circuit.VR.cl
+  && inside "tp" (Analysis.Delay.eq5 pair ~sizing ~vdd:op) r.VR.circuit.VR.tp
+  && inside "t_cycle" b.Analysis.Energy.t_cycle r.VR.circuit.VR.t_cycle
+  && inside "e_dyn" b.Analysis.Energy.e_dyn r.VR.circuit.VR.e_dyn
+  && inside "e_leak" b.Analysis.Energy.e_leak r.VR.circuit.VR.e_leak
+  && inside "e_total" b.Analysis.Energy.e_total r.VR.circuit.VR.e_total
+
+let soundness_tests =
+  [ prop "concrete pipeline stays inside propagated enclosures" ~count:60 gen_sound_point
+      soundness ]
+
+(* --- directed validity rules ------------------------------------------ *)
+
+let validity_tests =
+  [
+    u "all shipped configurations audit clean at 250 mV" (fun () ->
+        List.iter
+          (fun p -> check_clean "shipped" (VR.audit_physical ~op_vdd:op p).VR.diags)
+          configs);
+    u "moderate-inversion supply fires AUD001 naming Eq. (1)" (fun () ->
+        let diags = (VR.audit_physical ~op_vdd:0.6 phys90).VR.diags in
+        check_fires "vdd=0.6" "AUD001" diags;
+        let d = List.find (fun d -> d.Diag.rule = "AUD001") diags in
+        Alcotest.(check bool) "names Eq. (1)" true
+          (contains_sub d.Diag.message "Eq. (1)"));
+    u "V_ds below 3 v_T fires AUD002" (fun () ->
+        check_fires "vdd=0.05" "AUD002" (VR.audit_physical ~op_vdd:0.05 phys90).VR.diags);
+    u "widened box with zero-straddling I_off fires AUD003" (fun () ->
+        check_fires "widen=0.2" "AUD003"
+          (VR.audit_physical ~widen:0.2 ~op_vdd:op phys90).VR.diags);
+    u "extreme widening drives an exp argument past overflow (AUD004)" (fun () ->
+        check_fires "widen=0.6" "AUD004"
+          (VR.audit_physical ~widen:0.6 ~op_vdd:op phys90).VR.diags);
+    u "overlap consuming the gate fires AUD007" (fun () ->
+        let b = VR.box_of_physical phys90 in
+        let b = { b with VR.overlap = Some (I.point (0.6 *. phys90.Pm.lpoly)) } in
+        check_fires "overlap > L/2" "AUD007"
+          (VR.audit_box ~op_vdd:(I.point op) b).VR.diags);
+    u "default TCAD meshes satisfy the resolution preconditions" (fun () ->
+        List.iter
+          (fun p ->
+            check_clean "default mesh"
+              (VR.check_mesh (Device.Compact.to_tcad_description (Device.Compact.nfet p))))
+          configs);
+    u "a 2x2 mesh fires AUD008 errors" (fun () ->
+        let desc = Device.Compact.to_tcad_description (Device.Compact.nfet phys90) in
+        let diags = VR.check_mesh ~nx:2 ~ny:2 desc in
+        check_fires "2x2" "AUD008" diags;
+        Alcotest.(check bool) "errors" true (Diag.has_errors diags));
+  ]
+
+(* --- memo soundness: read-set/key cross-check ------------------------- *)
+
+let memo_key_tests =
+  [
+    u "traced device-build read-set is covered by the content keys" (fun () ->
+        List.iter
+          (fun p ->
+            let (_ : Circuits.Inverter.pair), reads =
+              Pm.Trace.collect (fun () -> Circuits.Inverter.pair_of_physical p)
+            in
+            Alcotest.(check bool) "reads traced" true (reads <> []);
+            check_clean "covered"
+              (MS.cross_check ~what:"build" ~reads
+                 ~covered:(Pm.physical_key_fields @ Pm.calibration_key_fields)))
+          configs);
+    u "a key deliberately missing a read field is caught (AUD011)" (fun () ->
+        let (_ : Circuits.Inverter.pair), reads =
+          Pm.Trace.collect (fun () -> Circuits.Inverter.pair_of_physical phys90)
+        in
+        let covered =
+          List.filter (fun f -> f <> "tox")
+            (Pm.physical_key_fields @ Pm.calibration_key_fields)
+        in
+        check_fires "dropped tox" "AUD011" (MS.cross_check ~what:"build" ~covered ~reads));
+    u "perturbing any keyed physical field changes physical_key" (fun () ->
+        let base = Pm.physical_key phys90 in
+        List.iter
+          (fun field ->
+            let p' =
+              match field with
+              | "node_nm" -> { phys90 with Pm.node_nm = phys90.Pm.node_nm + 1 }
+              | "lpoly" -> { phys90 with Pm.lpoly = phys90.Pm.lpoly *. (1.0 +. 1e-12) }
+              | "tox" -> { phys90 with Pm.tox = phys90.Pm.tox *. (1.0 +. 1e-12) }
+              | "nsub" -> { phys90 with Pm.nsub = phys90.Pm.nsub *. (1.0 +. 1e-12) }
+              | "np_halo" -> { phys90 with Pm.np_halo = phys90.Pm.np_halo *. (1.0 +. 1e-12) }
+              | "vdd" -> { phys90 with Pm.vdd = phys90.Pm.vdd +. 1e-12 }
+              | "xj" -> { phys90 with Pm.xj = Some 1e-8 }
+              | "overlap" -> { phys90 with Pm.overlap = Some 1e-9 }
+              | f -> Alcotest.failf "unexpected key field %s" f
+            in
+            check_clean field
+              (MS.key_sensitivity ~what:"physical_key" ~field ~base_key:base
+                 ~perturbed_key:(Pm.physical_key p')))
+          Pm.physical_key_fields);
+    u "an insensitive key encoder is caught (AUD011)" (fun () ->
+        check_fires "same key" "AUD011"
+          (MS.key_sensitivity ~what:"k" ~field:"tox" ~base_key:"x" ~perturbed_key:"x"));
+    u "rule registry rejects duplicate ids" (fun () ->
+        Alcotest.(check bool) "has AUD001" true (Check.Rules.is_registered "AUD001");
+        Alcotest.check_raises "duplicate" (Check.Rules.Duplicate_rule "AUD001") (fun () ->
+            ignore (Check.Rules.register ~summary:"collision" "AUD001"));
+        Alcotest.(check bool) "selftest counts rules" true (Check.Rules.selftest () > 0));
+  ]
+
+(* --- Exec.Memo shadow audit ------------------------------------------- *)
+
+let shadow_tests =
+  [
+    u "under-keyed memo table is caught by the shadow audit (AUD012)" (fun () ->
+        let tbl = Exec.Memo.create ~name:"test-audit-underkeyed" () in
+        let hidden = ref 1 in
+        Exec.Memo.clear_audit_violations ();
+        let violations =
+          Exec.Memo.with_audit (fun () ->
+              let (_ : int) = Exec.Memo.find_or_compute tbl ~key:"const" (fun () -> !hidden) in
+              hidden := 2;
+              let (_ : int) = Exec.Memo.find_or_compute tbl ~key:"const" (fun () -> !hidden) in
+              Exec.Memo.audit_violations ())
+        in
+        Exec.Memo.clear_audit_violations ();
+        Exec.Memo.clear tbl;
+        check_fires "under-keyed" "AUD012" (MS.of_violations violations));
+    u "a properly keyed table passes the shadow audit" (fun () ->
+        let tbl = Exec.Memo.create ~name:"test-audit-sound" () in
+        Exec.Memo.clear_audit_violations ();
+        let violations =
+          Exec.Memo.with_audit (fun () ->
+              List.iter
+                (fun x ->
+                  let (_ : int) =
+                    Exec.Memo.find_or_compute tbl ~key:(string_of_int x) (fun () -> x * x)
+                  in
+                  ())
+                [ 1; 2; 3; 1; 2; 3 ];
+              Exec.Memo.audit_violations ())
+        in
+        Exec.Memo.clear tbl;
+        check_clean "sound table" (MS.of_violations violations));
+  ]
+
+(* --- schedule perturbation -------------------------------------------- *)
+
+let schedule_tests =
+  [
+    u "Exec.map is bit-exact under adversarial schedules" (fun () ->
+        let xs = List.init 23 (fun i -> i) in
+        let f x = Float.to_string (sin (float_of_int x) *. exp (float_of_int x /. 7.0)) in
+        Exec.set_schedule_seed None;
+        let baseline = Exec.map f xs in
+        Fun.protect
+          ~finally:(fun () -> Exec.set_schedule_seed None)
+          (fun () ->
+            List.iter
+              (fun seed ->
+                Exec.set_schedule_seed (Some seed);
+                Alcotest.(check (list string))
+                  (Printf.sprintf "seed %d" seed)
+                  baseline (Exec.map f xs))
+              [ 1; 2; 3; 4; 5 ]));
+    u "trajectory sweep fingerprints are schedule-independent" (fun () ->
+        let fingerprint () =
+          Exec.Memo.clear_all ();
+          String.concat "\n"
+            (List.map Scaling.Strategy.evaluation_fingerprint
+               (Scaling.Strategy.super_vth_trajectory ()))
+        in
+        Exec.set_schedule_seed None;
+        let baseline = fingerprint () in
+        Fun.protect
+          ~finally:(fun () -> Exec.set_schedule_seed None)
+          (fun () ->
+            Exec.set_schedule_seed (Some 7);
+            Alcotest.(check string) "seed 7" baseline (fingerprint ()));
+        Alcotest.(check bool) "fingerprint is non-trivial" true
+          (String.length baseline > 100));
+    u "evaluation fingerprints distinguish distinct evaluations" (fun () ->
+        match Scaling.Strategy.super_vth_trajectory () with
+        | a :: b :: _ ->
+          Alcotest.(check bool) "distinct" true
+            (Scaling.Strategy.evaluation_fingerprint a
+             <> Scaling.Strategy.evaluation_fingerprint b)
+        | _ -> Alcotest.fail "trajectory too short");
+  ]
+
+let suite =
+  [
+    ("audit.interval", interval_op_tests);
+    ("audit.soundness", soundness_tests);
+    ("audit.validity", validity_tests);
+    ("audit.memo-key", memo_key_tests);
+    ("audit.shadow", shadow_tests);
+    ("audit.schedule", schedule_tests);
+  ]
