@@ -208,9 +208,14 @@ let () =
   let jobs = ref None in
   Arg.parse
     [ ("--smoke", Arg.Set smoke, " fast CI subset: kernel benches only, short quota");
-      ("--jobs", Arg.Int (fun n -> jobs := Some n), "N domain-pool width") ]
+      ("--jobs", Arg.Int (fun n -> jobs := Some n), "N domain-pool width");
+      ("--trace", Arg.String Subscale.Obs.set_trace_file,
+       "FILE write a Chrome trace_event JSON of the run (SUBSCALE_TRACE=FILE equivalent)");
+      ("--profile", Arg.Unit Subscale.Obs.enable_profile,
+       " print a span summary and the metrics registry to stderr at exit") ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--smoke] [--jobs N]";
+    "bench [--smoke] [--jobs N] [--trace FILE] [--profile]";
+  Subscale.Obs.init_from_env ();
   Option.iter Subscale.Exec.set_jobs !jobs;
   let t0 = Unix.gettimeofday () in
   if !smoke then run_benchmarks ~quota:0.05 (kernel_tests () @ ablation_tests ())

@@ -58,6 +58,42 @@ let jobs_term =
     const setup_jobs
     $ Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc))
 
+(* Observability: --trace FILE writes a Chrome trace_event JSON at process
+   exit; --profile prints a span summary plus the metrics registry to
+   stderr.  SUBSCALE_TRACE=FILE is the flag-free equivalent of --trace.
+   Tracing never perturbs results (DESIGN.md, "Observability"). *)
+let setup_obs trace profile =
+  Subscale.Obs.init_from_env ();
+  Option.iter Subscale.Obs.set_trace_file trace;
+  if profile then Subscale.Obs.enable_profile ()
+
+let obs_term =
+  let trace =
+    let doc =
+      "Write a Chrome trace_event JSON timeline of the run to $(docv) \
+       (open it at chrome://tracing or ui.perfetto.dev).  Setting \
+       $(b,SUBSCALE_TRACE)=FILE is equivalent."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let profile =
+    let doc =
+      "Print a per-span timing summary and the metrics registry (solver \
+       iteration histograms, memo hit rates, non-convergence counters) to \
+       stderr when the run finishes."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  Term.(const setup_obs $ trace $ profile)
+
+(* Any solver that gave up during the run left a counter behind; surface
+   them even when the caller did not ask for a profile. *)
+let warn_non_converged () =
+  List.iter
+    (fun (name, n) ->
+      Printf.eprintf "warning: %d non-converged solver exit(s) recorded under %s\n%!" n name)
+    (Subscale.Obs.non_converged_counters ())
+
 let experiment_ids =
   [ "table1"; "table2"; "table3"; "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
     "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ]
@@ -107,7 +143,7 @@ let run_cmd =
     let doc = "Directory to write per-experiment CSV files into." in
     Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
   in
-  let run () () ids no_measured plots csv_dir =
+  let run () () () ids no_measured plots csv_dir =
     let ids =
       List.concat_map
         (fun id ->
@@ -165,11 +201,12 @@ let run_cmd =
           | _ -> assert false
         in
         print_output ~plots ~csv_dir output)
-      ids
+      ids;
+    warn_non_converged ()
   in
   let doc = "Reproduce the paper's tables and figures" in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ log_term $ jobs_term $ ids $ no_measured $ plots $ csv_dir)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ ids $ no_measured $ plots $ csv_dir)
 
 let node_arg =
   let doc = "Technology node (90, 65, 45 or 32; 130 for the Fig. 12 extra point)." in
@@ -199,7 +236,7 @@ let select_device node strategy =
     exit 2
 
 let device_cmd =
-  let run () () node strategy =
+  let run () () () node strategy =
     let roadmap_node, phys, pair = select_device node strategy in
     validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     let e =
@@ -231,10 +268,10 @@ let device_cmd =
   in
   let doc = "Print compact-model characteristics of one scaled device" in
   Cmd.v (Cmd.info "device" ~doc)
-    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ node_arg $ strategy_arg)
 
 let tcad_cmd =
-  let run () () node strategy =
+  let run () () () node strategy =
     let _, _, pair = select_device node strategy in
     let nfet = pair.Subscale.Circuits.Inverter.nfet in
     let desc = Subscale.Device.Compact.to_tcad_description nfet in
@@ -253,18 +290,19 @@ let tcad_cmd =
     Printf.printf "Vth,sat (2-D)   : %.0f mV\n" (1000.0 *. ch.Subscale.Tcad.Extract.vth_sat);
     Printf.printf "DIBL (2-D)      : %.0f mV/V\n" (1000.0 *. ch.Subscale.Tcad.Extract.dibl);
     Printf.printf "Ioff (2-D)      : %.2e A/m\n" ch.Subscale.Tcad.Extract.ioff;
-    Printf.printf "Ion/Ioff @250mV : %.0f\n" ch.Subscale.Tcad.Extract.on_off_ratio_sub
+    Printf.printf "Ion/Ioff @250mV : %.0f\n" ch.Subscale.Tcad.Extract.on_off_ratio_sub;
+    warn_non_converged ()
   in
   let doc = "Characterize one scaled device with the 2-D TCAD simulator" in
   Cmd.v (Cmd.info "tcad" ~doc)
-    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ node_arg $ strategy_arg)
 
 let sweep_cmd =
   let vd_arg =
     let doc = "Drain bias for the sweep [V]." in
     Arg.(value & opt float 0.25 & info [ "vd" ] ~docv:"V" ~doc)
   in
-  let run () () node strategy vd =
+  let run () () () node strategy vd =
     let _, phys, pair = select_device node strategy in
     validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     let nfet = pair.Subscale.Circuits.Inverter.nfet in
@@ -276,7 +314,7 @@ let sweep_cmd =
   in
   let doc = "Dump a compact-model Id-Vg sweep as CSV (A/um)" in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg $ vd_arg)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ node_arg $ strategy_arg $ vd_arg)
 
 let vdd_arg =
   let doc = "Supply voltage [V]." in
@@ -287,7 +325,7 @@ let out_arg ~default =
   Arg.(value & opt string default & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
 let liberty_cmd =
-  let run () () node strategy vdd path =
+  let run () () () node strategy vdd path =
     let _, phys, pair = select_device node strategy in
     validate_device ~what:(Printf.sprintf "%d nm %s device" node strategy) phys pair;
     Printf.printf "characterizing INV/NAND2/NOR2 at %.0f mV...\n%!" (1000.0 *. vdd);
@@ -298,7 +336,7 @@ let liberty_cmd =
   in
   let doc = "Characterize a cell library and write it as a Liberty (.lib) file" in
   Cmd.v (Cmd.info "liberty" ~doc)
-    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg $ vdd_arg
+    Term.(const run $ log_term $ jobs_term $ obs_term $ node_arg $ strategy_arg $ vdd_arg
           $ out_arg ~default:"subscale.lib")
 
 let export_cmd =
@@ -306,7 +344,7 @@ let export_cmd =
     let doc = "Circuit to export: 'inverter', 'chain' or 'adder'." in
     Arg.(value & opt string "inverter" & info [ "circuit" ] ~docv:"NAME" ~doc)
   in
-  let run () () node strategy vdd circuit path =
+  let run () () () node strategy vdd circuit path =
     let _, _, pair = select_device node strategy in
     let netlist =
       match circuit with
@@ -329,7 +367,7 @@ let export_cmd =
   in
   let doc = "Export a generated circuit as a SPICE deck" in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const run $ log_term $ jobs_term $ node_arg $ strategy_arg $ vdd_arg $ circuit_arg
+    Term.(const run $ log_term $ jobs_term $ obs_term $ node_arg $ strategy_arg $ vdd_arg $ circuit_arg
           $ out_arg ~default:"subscale.sp")
 
 let verilog_cmd =
@@ -537,7 +575,7 @@ let check_cmd =
     let doc = "Also build the 2-D TCAD structures and lint their meshes (slower)." in
     Arg.(value & flag & info [ "tcad" ] ~doc)
   in
-  let run () () selftest strict with_tcad =
+  let run () () () selftest strict with_tcad =
     if selftest then check_selftest ()
     else begin
       let all = check_targets ~with_tcad in
@@ -557,7 +595,7 @@ let check_cmd =
           $(b,--strict)), 1 when any rule reported an error." ]
   in
   Cmd.v (Cmd.info "check" ~doc ~man)
-    Term.(const run $ log_term $ jobs_term $ selftest $ strict $ with_tcad)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ selftest $ strict $ with_tcad)
 
 (* ------------------------------------------------------------------ *)
 (* audit: interval abstract interpretation of the model chain plus the
@@ -888,7 +926,7 @@ let audit_cmd =
     in
     Arg.(value & opt float 0.0 & info [ "widen" ] ~docv:"REL" ~doc)
   in
-  let run () () validity memo schedules strict selftest op_vdd widen =
+  let run () () () validity memo schedules strict selftest op_vdd widen =
     if selftest then audit_selftest ()
     else begin
       let run_all = (not validity) && not memo in
@@ -919,7 +957,7 @@ let audit_cmd =
           $(b,--strict)), 1 when any AUD rule reported an error." ]
   in
   Cmd.v (Cmd.info "audit" ~doc ~man)
-    Term.(const run $ log_term $ jobs_term $ validity $ memo $ schedules $ strict
+    Term.(const run $ log_term $ jobs_term $ obs_term $ validity $ memo $ schedules $ strict
           $ selftest $ op_vdd $ widen)
 
 let main =

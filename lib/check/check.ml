@@ -15,6 +15,7 @@ module Design_rules = Design_rules
 module Finite = Finite
 module Validity_rules = Validity_rules
 module Memo_soundness = Memo_soundness
+module Solver_rules = Solver_rules
 
 exception Check_failed of Diagnostic.t list
 (** Raised by {!assert_clean}; carries every diagnostic, errors first. *)

@@ -21,6 +21,7 @@ module Design_rules = Design_rules
 module Finite = Finite
 module Validity_rules = Validity_rules
 module Memo_soundness = Memo_soundness
+module Solver_rules = Solver_rules
 
 exception Check_failed of Diagnostic.t list
 

@@ -1,0 +1,38 @@
+(* Solver-convergence rules.
+
+   The solvers themselves make non-convergence loud — [Tcad.Gummel] raises,
+   [Numerics.Root] raises (or demands an explicit [`Accept]), and every
+   exhaustion path bumps an ["<solver>.non_converged"] obs counter.  The
+   one remaining hole is [Tcad.Poisson.solve], whose [solution] record
+   carries a [converged] flag a caller could drop on the floor.  These
+   rules close that hole: [check_poisson] turns an unconverged solution
+   into a diagnostic, and [scan_metrics] sweeps the obs registry after a
+   run so any non-convergence that happened anywhere — including inside a
+   caller that swallowed the flag — still surfaces as a named rule. *)
+
+let rule_non_converged =
+  Rules.register ~summary:"a solver exited without meeting its tolerance" "solver-non-converged"
+
+let check_poisson (sol : Tcad.Poisson.solution) =
+  if sol.Tcad.Poisson.converged then []
+  else
+    [
+      Diagnostic.error ~rule:rule_non_converged ~location:"Poisson solve"
+        ~hint:"raise max_iter, improve the initial guess, or ramp the bias in smaller steps"
+        (Printf.sprintf "Newton stalled after %d iterations (scaled residual %.2e V)"
+           sol.Tcad.Poisson.iterations sol.Tcad.Poisson.residual);
+    ]
+
+let scan_metrics ?prefix () =
+  let keep name =
+    match prefix with None -> true | Some p -> String.starts_with ~prefix:p name
+  in
+  List.filter_map
+    (fun (name, count) ->
+      if keep name then
+        Some
+          (Diagnostic.error ~rule:rule_non_converged ~location:name
+             ~hint:"re-run with --trace to see the biases and residuals of each stalled solve"
+             (Printf.sprintf "%d non-converged solver exit(s) recorded this run" count))
+      else None)
+    (Obs.non_converged_counters ())

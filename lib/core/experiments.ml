@@ -19,6 +19,7 @@ let validate_evaluation which (e : Scaling.Strategy.evaluation) =
     (Check.compact e.Scaling.Strategy.pair.Circuits.Inverter.pfet ~vdd)
 
 let make_context ?cal ?(with_130 = false) () =
+  Obs.Trace.with_span ~cat:"experiments" "experiments.make_context" @@ fun () ->
   let ctx =
     {
       super = Scaling.Strategy.super_vth_trajectory ?cal ~with_130 ();
@@ -34,6 +35,10 @@ let sub_of c = c.sub
 
 type output = { id : string; table : Report.Table.t; plots : string list }
 
+(* One span per paper artefact: the trace's top-level view is "which
+   table/figure cost what", with solver and pool spans nested beneath. *)
+let traced id f = Obs.Trace.with_span ~cat:"experiments" ("experiments." ^ id) f
+
 let fmt = Report.Table.fmt
 let nm = Physics.Constants.to_nm
 let cm3 v = Physics.Constants.to_per_cm3 v /. 1e18
@@ -47,6 +52,7 @@ let roadmap_only evals =
 let node_of e = e.Scaling.Strategy.node.Scaling.Roadmap.nm
 
 let table1 () =
+  traced "table1" @@ fun () ->
   let alpha = 1.0 /. 0.7 and epsilon = 1.1 in
   let f = Scaling.Generalized.factors ~alpha ~epsilon in
   let rows =
@@ -80,6 +86,7 @@ let paper_t2 =
   ]
 
 let table2 ctx =
+  traced "table2" @@ fun () ->
   let rows =
     List.concat
       (Exec.map2
@@ -128,6 +135,7 @@ let paper_t3 =
   ]
 
 let table3 ctx =
+  traced "table3" @@ fun () ->
   let subs = roadmap_only ctx.sub in
   let ef0 = (List.hd subs).Scaling.Strategy.energy_factor in
   let df0 = (List.hd subs).Scaling.Strategy.delay_factor in
@@ -165,6 +173,7 @@ let table3 ctx =
   }
 
 let fig2 ctx =
+  traced "fig2" @@ fun () ->
   let evals = roadmap_only ctx.super in
   let rows =
     List.map
@@ -204,6 +213,7 @@ let fig2 ctx =
   }
 
 let fig3 ctx =
+  traced "fig3" @@ fun () ->
   let rows =
     List.map
       (fun e ->
@@ -235,6 +245,7 @@ let snm_at pair vdd =
   | exception Failure _ -> 0.0
 
 let fig4 ctx =
+  traced "fig4" @@ fun () ->
   let evals = roadmap_only ctx.super in
   let rows =
     Exec.map
@@ -260,6 +271,7 @@ let fig4 ctx =
   }
 
 let fig5 ?(measured = true) ctx =
+  traced "fig5" @@ fun () ->
   let sizing = Circuits.Inverter.balanced_sizing () in
   let rows =
     Exec.map
@@ -291,6 +303,7 @@ let fig5 ?(measured = true) ctx =
   }
 
 let fig6 ctx =
+  traced "fig6" @@ fun () ->
   let evals = roadmap_only ctx.super in
   let sizing = Circuits.Inverter.balanced_sizing () in
   let e0 = List.hd evals in
@@ -334,6 +347,7 @@ let fig6 ctx =
   }
 
 let fig7 () =
+  traced "fig7" @@ fun () ->
   let node = Scaling.Roadmap.find 45 in
   let lpolys =
     Array.map Physics.Constants.nm [| 30.; 35.; 40.; 45.; 50.; 60.; 70.; 85.; 100.; 120. |]
@@ -373,6 +387,7 @@ let fig7 () =
   }
 
 let fig8 () =
+  traced "fig8" @@ fun () ->
   let node = Scaling.Roadmap.find 45 in
   let sel = Scaling.Sub_vth.select_node node in
   let samples = sel.Scaling.Sub_vth.lpoly_grid in
@@ -408,6 +423,7 @@ let fig8 () =
   }
 
 let fig9 ctx =
+  traced "fig9" @@ fun () ->
   let rows =
     Exec.map2
       (fun sup sub ->
@@ -441,6 +457,7 @@ let fig9 ctx =
   }
 
 let fig10 ctx =
+  traced "fig10" @@ fun () ->
   let supers = roadmap_only ctx.super and subs = roadmap_only ctx.sub in
   let rows =
     Exec.map2
@@ -469,6 +486,7 @@ let fig10 ctx =
   }
 
 let fig11 ctx =
+  traced "fig11" @@ fun () ->
   let supers = roadmap_only ctx.super and subs = roadmap_only ctx.sub in
   let d0_sup = (List.hd supers).Scaling.Strategy.delay_sub in
   let d0_sub = (List.hd subs).Scaling.Strategy.delay_sub in
@@ -501,6 +519,7 @@ let fig11 ctx =
   }
 
 let fig12 ctx =
+  traced "fig12" @@ fun () ->
   let rows =
     Exec.map2
       (fun sup sub ->
@@ -551,6 +570,7 @@ let find_eval evals ~nm =
   List.find (fun e -> node_of e = nm) evals
 
 let ext_variability ctx =
+  traced "ext_variability" @@ fun () ->
   let vdds = [ 0.9; 0.5; 0.35; 0.25; 0.2 ] in
   let trace pair = Analysis.Variability.delay_spread_vs_vdd ~trials:300 pair ~vdds in
   let sup90 = (find_eval ctx.super ~nm:90).Scaling.Strategy.pair in
@@ -580,6 +600,7 @@ let ext_variability ctx =
   }
 
 let ext_multi_vth () =
+  traced "ext_multi_vth" @@ fun () ->
   let node = Scaling.Roadmap.find 32 in
   let describe kind =
     let variants = Scaling.Multi_vth.for_node ~strategy:kind node in
@@ -610,6 +631,7 @@ let ext_multi_vth () =
   }
 
 let ext_bitline ctx =
+  traced "ext_bitline" @@ fun () ->
   let rows =
     Exec.map2
       (fun sup sub ->
@@ -635,6 +657,7 @@ let ext_bitline ctx =
   }
 
 let ext_temperature () =
+  traced "ext_temperature" @@ fun () ->
   let phys = List.hd Device.Params.paper_table2 in
   let sizing = Circuits.Inverter.balanced_sizing () in
   let rows =
@@ -669,6 +692,7 @@ let ext_temperature () =
   }
 
 let ext_datapath ctx =
+  traced "ext_datapath" @@ fun () ->
   let rows =
     Exec.map
       (fun e ->
@@ -696,6 +720,7 @@ let ext_datapath ctx =
 
 
 let ext_interconnect ctx =
+  traced "ext_interconnect" @@ fun () ->
   (* Wire RC per node and the wire-vs-gate balance at both operating points:
      at nominal Vdd a 1 mm wire's own RC rivals the gate delay, while at
      250 mV the gate is orders slower, so optimal repeater segments grow to
@@ -743,6 +768,7 @@ let ext_interconnect ctx =
   }
 
 let ext_sta ctx =
+  traced "ext_sta" @@ fun () ->
   let rows =
     Exec.map
       (fun e ->
@@ -783,6 +809,7 @@ let ext_sta ctx =
   }
 
 let ext_yield ctx =
+  traced "ext_yield" @@ fun () ->
   let sup32 = (find_eval ctx.super ~nm:32).Scaling.Strategy.pair in
   let sub32 = (find_eval ctx.sub ~nm:32).Scaling.Strategy.pair in
   let rows =
@@ -822,6 +849,7 @@ let ext_yield ctx =
   }
 
 let ext_projection () =
+  traced "ext_projection" @@ fun () ->
   let projected = Scaling.Roadmap.project ~generations:2 in
   let rows =
     List.concat
@@ -863,6 +891,7 @@ let ext_projection () =
 
 
 let ext_corners ctx =
+  traced "ext_corners" @@ fun () ->
   let sizing = Circuits.Inverter.balanced_sizing () in
   let sup32 = (find_eval ctx.super ~nm:32).Scaling.Strategy.pair in
   let sub32 = (find_eval ctx.sub ~nm:32).Scaling.Strategy.pair in
@@ -913,6 +942,7 @@ let ext_corners ctx =
   }
 
 let ext_pareto ctx =
+  traced "ext_pareto" @@ fun () ->
   let sup32 = (find_eval ctx.super ~nm:32).Scaling.Strategy.pair in
   let sub32 = (find_eval ctx.sub ~nm:32).Scaling.Strategy.pair in
   let describe label pair =

@@ -35,4 +35,5 @@ module Interconnect = Interconnect
 module Sta = Sta
 module Report = Report
 module Check = Check
+module Obs = Obs
 module Experiments = Experiments

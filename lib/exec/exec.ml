@@ -120,6 +120,15 @@ let seq_map_ordered order f arr =
   Array.iter (fun i -> results.(i) <- Some (f arr.(i))) order;
   Array.to_list (Array.map Option.get results)
 
+(* Spans wrap only the genuine fan-outs (the pool paths); the sequential
+   fallbacks — one job, nested maps — would flood the trace with List.map
+   noise. *)
+let fan_out ?order ~jobs:n xs f =
+  Obs.Trace.with_span ~cat:"exec"
+    ~attrs:[ ("items", Obs.Trace.I (List.length xs)); ("jobs", Obs.Trace.I n) ]
+    "exec.map"
+    (fun () -> Pool.map ?order (get_pool n) xs f)
+
 let map f xs =
   let n = jobs () in
   match schedule_seed () with
@@ -128,7 +137,7 @@ let map f xs =
     else if Atomic.compare_and_set busy false true then
       Fun.protect
         ~finally:(fun () -> Atomic.set busy false)
-        (fun () -> Pool.map (get_pool n) xs f)
+        (fun () -> fan_out ~jobs:n xs f)
     else List.map f xs
   | Some seed ->
     let arr = Array.of_list xs in
@@ -140,7 +149,7 @@ let map f xs =
       else if Atomic.compare_and_set busy false true then
         Fun.protect
           ~finally:(fun () -> Atomic.set busy false)
-          (fun () -> Pool.map ~order (get_pool n) xs f)
+          (fun () -> fan_out ~order ~jobs:n xs f)
       else seq_map_ordered order f arr
     end
 

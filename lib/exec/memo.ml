@@ -28,6 +28,12 @@ type 'a t = {
   equal : 'a -> 'a -> bool;
   mutable hits : int;
   mutable misses : int;
+  (* Process-wide mirrors of the per-table counts above.  Two tables
+     created with the same name share one mirror (the obs registry is
+     keyed by name), so the per-table fields — which tests reset between
+     cases — remain the source of truth for [stats]. *)
+  obs_hits : Obs.Metrics.counter;
+  obs_misses : Obs.Metrics.counter;
 }
 
 (* Structural equality, except values containing functional components
@@ -80,7 +86,16 @@ let record_violation name key =
 
 let create ?(equal = default_equal) ~name () =
   let t =
-    { name; tbl = Hashtbl.create 64; lock = Mutex.create (); equal; hits = 0; misses = 0 }
+    {
+      name;
+      tbl = Hashtbl.create 64;
+      lock = Mutex.create ();
+      equal;
+      hits = 0;
+      misses = 0;
+      obs_hits = Obs.Metrics.counter ("memo." ^ name ^ ".hits");
+      obs_misses = Obs.Metrics.counter ("memo." ^ name ^ ".misses");
+    }
   in
   let clear () =
     Mutex.lock t.lock;
@@ -109,6 +124,7 @@ let find_or_compute t ~key f =
     | Some v ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.lock;
+      Obs.Metrics.incr t.obs_hits;
       if Atomic.get audit_mode then begin
         let fresh = f () in
         if not (t.equal v fresh) then record_violation t.name key
@@ -117,7 +133,10 @@ let find_or_compute t ~key f =
     | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.lock;
-      let v = f () in
+      Obs.Metrics.incr t.obs_misses;
+      (* A span per miss shows where compute time actually goes; hits are
+         counter-only — a span per hit would flood the trace buffer. *)
+      let v = Obs.Trace.with_span ~cat:"memo" ("memo." ^ t.name) f in
       Mutex.lock t.lock;
       if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key v;
       Mutex.unlock t.lock;

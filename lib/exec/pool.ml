@@ -30,7 +30,17 @@ type job = {
   next : int Atomic.t;  (* next unclaimed index *)
   stop : bool Atomic.t;  (* a task raised: stop claiming new indices *)
   mutable inside : int;  (* workers currently executing this job's items *)
+  published : float;  (* publish timestamp; 0.0 unless tracing *)
 }
+
+(* Queue-wait observations need a clock, so they are taken only while
+   tracing is on — the disabled-path cost of a [map] stays two atomic
+   reads.  Observation never affects claiming order or results. *)
+let queue_wait_hist = Obs.Metrics.histogram "exec.pool.queue_wait_us"
+
+let note_queue_wait job =
+  if Obs.Trace.enabled () && job.published > 0.0 then
+    Obs.Metrics.observe queue_wait_hist ((Unix.gettimeofday () -. job.published) *. 1e6)
 
 type t = {
   domains : int;
@@ -75,7 +85,11 @@ let rec worker_loop pool last_id =
   | None -> Mutex.unlock pool.mutex
   | Some job ->
     Mutex.unlock pool.mutex;
-    run_items job;
+    note_queue_wait job;
+    Obs.Trace.with_span ~cat:"pool"
+      ~attrs:[ ("job", Obs.Trace.I job.id) ]
+      "pool.worker"
+      (fun () -> run_items job);
     Mutex.lock pool.mutex;
     job.inside <- job.inside - 1;
     if job.inside = 0 then Condition.broadcast pool.quiet;
@@ -161,12 +175,16 @@ let map ?order pool xs f =
       Mutex.unlock pool.mutex;
       invalid_arg "Pool.map: a job is already running on this pool"
     end;
-    let job = { id = pool.next_id; run; n; next = Atomic.make 0; stop; inside = 0 } in
+    let published = if Obs.Trace.enabled () then Unix.gettimeofday () else 0.0 in
+    let job = { id = pool.next_id; run; n; next = Atomic.make 0; stop; inside = 0; published } in
     pool.next_id <- pool.next_id + 1;
     pool.current <- Some job;
     Condition.broadcast pool.work_ready;
     Mutex.unlock pool.mutex;
-    run_items job;
+    Obs.Trace.with_span ~cat:"pool"
+      ~attrs:[ ("job", Obs.Trace.I job.id); ("items", Obs.Trace.I n) ]
+      "pool.map"
+      (fun () -> run_items job);
     Mutex.lock pool.mutex;
     (* Unpublish before waiting: no worker can join past this point, so
        [inside] only decreases and the wait below terminates. *)

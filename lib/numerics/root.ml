@@ -1,12 +1,57 @@
-let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
+exception
+  No_convergence of {
+    method_ : string;
+    a : float;
+    b : float;
+    best : float;
+    residual : float;
+    iterations : int;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | No_convergence { method_; a; b; best; residual; iterations } ->
+      Some
+        (Printf.sprintf
+           "Root.No_convergence(%s: %d iterations, bracket [%h, %h], best %h, residual %h)"
+           method_ iterations a b best residual)
+    | _ -> None)
+
+type on_fail = [ `Raise | `Accept ]
+
+(* Every exhaustion path funnels through here so that a solver giving up is
+   never silent: the obs counter/event fires whether the caller chose to
+   [`Raise] or to [`Accept] the last iterate. *)
+let exhausted ~method_ ~on_fail ~a ~b ~best ~residual ~iterations =
+  Obs.non_converged ~solver:"numerics.root"
+    ~attrs:
+      [
+        ("method", Obs.Trace.S method_);
+        ("a", Obs.Trace.F a);
+        ("b", Obs.Trace.F b);
+        ("best", Obs.Trace.F best);
+        ("residual", Obs.Trace.F residual);
+        ("iterations", Obs.Trace.I iterations);
+      ]
+    (Printf.sprintf "%s exhausted %d iterations on [%g, %g]" method_ iterations a b);
+  match on_fail with
+  | `Raise -> raise (No_convergence { method_; a; b; best; residual; iterations })
+  | `Accept -> best
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
   let fa = f a and fb = f b in
   if fa = 0.0 then a
   else if fb = 0.0 then b
   else begin
     if fa *. fb > 0.0 then invalid_arg "Root.bisect: no sign change on [a, b]";
+    (* The tolerance test comes before the budget test so that converging
+       call sequences are unchanged from the pre-[on_fail] implementation
+       (golden snapshots are bit-exact about this). *)
     let rec loop a b fa iter =
       let m = 0.5 *. (a +. b) in
-      if (b -. a) /. 2.0 < tol || iter >= max_iter then m
+      if (b -. a) /. 2.0 < tol then m
+      else if iter >= max_iter then
+        exhausted ~method_:"bisect" ~on_fail ~a ~b ~best:m ~residual:(f m) ~iterations:iter
       else
         let fm = f m in
         if fm = 0.0 then m
@@ -17,7 +62,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f a b =
   end
 
 (* Brent (1973), as in Numerical Recipes zbrent. *)
-let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
+let brent ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
   let fa = f a and fb = f b in
   if fa = 0.0 then a
   else if fb = 0.0 then b
@@ -83,25 +128,42 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) f a b =
         end
       end
     done;
-    match !result with Some r -> r | None -> !b
+    match !result with
+    | Some r -> r
+    | None ->
+      exhausted ~method_:"brent" ~on_fail ~a:!a ~b:!c ~best:!b ~residual:!fb ~iterations:!iter
   end
 
-let newton ?(tol = 1e-12) ?(max_iter = 100) ~f ~df x0 =
+let newton ?(tol = 1e-12) ?(max_iter = 100) ?(on_fail = `Raise) ~f ~df x0 =
   let rec loop x iter =
-    if iter >= max_iter then failwith "Root.newton: no convergence";
-    let fx = f x in
-    let dfx = df x in
-    if Float.abs dfx < 1e-300 then failwith "Root.newton: zero derivative";
-    let x' = x -. (fx /. dfx) in
-    if Float.abs (x' -. x) < tol *. (1.0 +. Float.abs x') then x' else loop x' (iter + 1)
+    if iter >= max_iter then
+      exhausted ~method_:"newton" ~on_fail ~a:x ~b:x ~best:x ~residual:(f x) ~iterations:iter
+    else begin
+      let fx = f x in
+      let dfx = df x in
+      if Float.abs dfx < 1e-300 then failwith "Root.newton: zero derivative";
+      let x' = x -. (fx /. dfx) in
+      if Float.abs (x' -. x) < tol *. (1.0 +. Float.abs x') then x' else loop x' (iter + 1)
+    end
   in
   loop x0 0
 
 let find_bracket ?(grow = 1.6) ?(max_iter = 60) f a b =
+  let non_finite who x fx =
+    Obs.non_converged ~solver:"numerics.root"
+      ~attrs:[ ("method", Obs.Trace.S "find_bracket"); (who, Obs.Trace.F x); ("f", Obs.Trace.F fx) ]
+      (Printf.sprintf "find_bracket: non-finite f(%g) = %g" x fx);
+    None
+  in
   let a = ref (Float.min a b) and b = ref (Float.max a b) in
   let fa = ref (f !a) and fb = ref (f !b) in
+  (* A sign test against a non-finite evaluation is meaningless
+     (-inf *. positive < 0 would "bracket" a pole or an overflow, and any
+     NaN silently fails every test); refuse such endpoints outright. *)
   let rec loop iter =
-    if !fa *. !fb < 0.0 then Some (!a, !b)
+    if not (Float.is_finite !fa) then non_finite "a" !a !fa
+    else if not (Float.is_finite !fb) then non_finite "b" !b !fb
+    else if !fa *. !fb < 0.0 then Some (!a, !b)
     else if iter >= max_iter then None
     else begin
       if Float.abs !fa < Float.abs !fb then begin

@@ -1,20 +1,53 @@
-(** Scalar root finding. *)
+(** Scalar root finding.
 
-val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+    Every method has a bounded iteration budget, and exhausting it is never
+    silent: the exhaustion path emits an [Obs.non_converged] event and then
+    either raises {!No_convergence} (the default) or, under
+    [~on_fail:`Accept], returns the best iterate so far.  Callers that can
+    tolerate an approximate root must say so explicitly. *)
+
+exception
+  No_convergence of {
+    method_ : string;  (** ["bisect"], ["brent"] or ["newton"] *)
+    a : float;  (** bracket low / last iterate *)
+    b : float;  (** bracket high / last iterate *)
+    best : float;  (** best iterate when the budget ran out *)
+    residual : float;  (** [f best] *)
+    iterations : int;
+  }
+
+type on_fail = [ `Raise | `Accept ]
+(** What to do when the iteration budget is exhausted: [`Raise]
+    {!No_convergence} (default), or [`Accept] the best iterate (an obs
+    non-convergence event is emitted either way). *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> ?on_fail:on_fail -> (float -> float) -> float -> float -> float
 (** [bisect f a b] finds a root of [f] in [[a, b]].  Requires a sign change
     ([Invalid_argument] otherwise).  [tol] is the interval-width target
     (default 1e-12). *)
 
-val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+val brent :
+  ?tol:float -> ?max_iter:int -> ?on_fail:on_fail -> (float -> float) -> float -> float -> float
 (** Brent's method: bisection safety with inverse-quadratic speed.  Same
     contract as {!bisect}. *)
 
 val newton :
-  ?tol:float -> ?max_iter:int -> f:(float -> float) -> df:(float -> float) -> float -> float
-(** [newton ~f ~df x0] runs Newton iteration from [x0].  Raises [Failure] if
-    it fails to converge or hits a zero derivative. *)
+  ?tol:float ->
+  ?max_iter:int ->
+  ?on_fail:on_fail ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** [newton ~f ~df x0] runs Newton iteration from [x0].  Raises
+    {!No_convergence} on budget exhaustion (unless [`Accept]) and [Failure]
+    on a zero derivative. *)
 
 val find_bracket :
   ?grow:float -> ?max_iter:int -> (float -> float) -> float -> float -> (float * float) option
 (** [find_bracket f a b] expands the interval geometrically outward until
-    [f] changes sign, returning the bracket if found. *)
+    [f] changes sign, returning the bracket if found.  A candidate endpoint
+    whose evaluation is non-finite (NaN or infinite — e.g. a pole or an
+    overflow masquerading as a sign change) yields [None] plus an obs
+    non-convergence event rather than a bogus bracket. *)

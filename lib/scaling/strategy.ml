@@ -49,6 +49,14 @@ let evaluation_key kind node (phys : Device.Params.physical)
       ("pfet", pfet_key) ]
 
 let evaluate_uncached kind node phys pair =
+  Obs.Trace.with_span ~cat:"scaling"
+    ~attrs:
+      [
+        ("kind", Obs.Trace.S (match kind with Super_vth -> "super" | Sub_vth -> "sub"));
+        ("node_nm", Obs.Trace.I node.Roadmap.nm);
+      ]
+    "strategy.evaluate"
+  @@ fun () ->
   let sizing = Circuits.Inverter.balanced_sizing () in
   let nfet = pair.Circuits.Inverter.nfet in
   (* The SPICE engine's VTC carries the DIBL-driven output-conductance loss

@@ -5,6 +5,10 @@ type sweep = { vd : float; vgs : Numerics.Vec.t; ids : Numerics.Vec.t }
    polarities (the convention of every plot in the paper). *)
 let id_vg ?(vg_min = 0.0) ?(vg_max = 0.9) ?(points = 19) dev ~vd =
   if points < 2 then invalid_arg "Extract.id_vg: need at least 2 points";
+  Obs.Trace.with_span ~cat:"tcad"
+    ~attrs:[ ("vd", Obs.Trace.F vd); ("points", Obs.Trace.I points) ]
+    "extract.id_vg"
+  @@ fun () ->
   let sign =
     match dev.Structure.desc.Structure.polarity with
     | Structure.Nchannel -> 1.0
@@ -31,6 +35,10 @@ type output_sweep = { vg : float; vds : Numerics.Vec.t; ids : Numerics.Vec.t }
 
 let id_vd ?(vd_max = 0.6) ?(points = 13) dev ~vg =
   if points < 2 then invalid_arg "Extract.id_vd: need at least 2 points";
+  Obs.Trace.with_span ~cat:"tcad"
+    ~attrs:[ ("vg", Obs.Trace.F vg); ("points", Obs.Trace.I points) ]
+    "extract.id_vd"
+  @@ fun () ->
   let sign =
     match dev.Structure.desc.Structure.polarity with
     | Structure.Nchannel -> 1.0
@@ -69,6 +77,10 @@ let gate_charge dev (state : Gummel.state) =
   !total
 
 let gate_capacitance ?(dv = 5e-3) dev ~vg ~vd =
+  Obs.Trace.with_span ~cat:"tcad"
+    ~attrs:[ ("vg", Obs.Trace.F vg); ("vd", Obs.Trace.F vd) ]
+    "extract.gate_capacitance"
+  @@ fun () ->
   let eq = Gummel.equilibrium dev in
   let at vgate =
     let s =
@@ -167,6 +179,8 @@ let characterize_memo : characteristics Exec.Memo.t =
   Exec.Memo.create ~name:"tcad.characterize" ()
 
 let characterize ?(vdd = 0.9) dev =
+  Obs.Trace.with_span ~cat:"tcad" ~attrs:[ ("vdd", Obs.Trace.F vdd) ] "extract.characterize"
+  @@ fun () ->
   let sweep_lin = id_vg dev ~vd:0.05 ~vg_max:(Float.max vdd 0.9) in
   let sweep_sat = id_vg dev ~vd:vdd ~vg_max:(Float.max vdd 0.9) in
   let sweep_sub = id_vg dev ~vd:0.25 ~vg_max:(Float.max vdd 0.9) in

@@ -16,6 +16,9 @@ let src = Logs.Src.create "tcad.gummel" ~doc:"Gummel iteration"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+let inner_iterations_hist = Obs.Metrics.histogram "tcad.gummel.inner_iterations"
+let ramp_steps_hist = Obs.Metrics.histogram "tcad.gummel.ramp_steps"
+
 let total_drain_current dev ~psi ~u ~w =
   let i_n = Continuity.terminal_current dev ~carrier:Continuity.Electrons ~psi ~u in
   let i_p = Continuity.terminal_current dev ~carrier:Continuity.Holes ~psi ~u:w in
@@ -45,6 +48,10 @@ let equilibrium dev =
 
 let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_srh) dev
     ~(from : state) (biases : Poisson.biases) =
+  Obs.Trace.with_span ~cat:"tcad"
+    ~attrs:[ ("gate", Obs.Trace.F biases.gate); ("drain", Obs.Trace.F biases.drain) ]
+    "gummel.at"
+  @@ fun () ->
   let rec loop psi phi_n phi_p n_prev p_prev iter =
     let sol = Poisson.solve dev ~biases ~phi_n ~phi_p ~psi0:psi in
     if not sol.Poisson.converged then
@@ -63,11 +70,26 @@ let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_s
     let h = Continuity.solve ?recombination dev ~carrier:Continuity.Holes ~biases ~psi:psi' in
     let delta = Numerics.Vec.max_abs_diff psi' psi in
     if delta < tol || iter >= max_gummel then begin
-      if delta >= tol then
+      if delta >= tol then begin
+        (* Poisson emits its own non_converged event on its stalled exits
+           above; this one covers the outer-loop stall only, so the two
+           solvers never double-count a single failure. *)
+        Obs.non_converged ~solver:"tcad.gummel"
+          ~attrs:
+            [
+              ("gate", Obs.Trace.F biases.gate);
+              ("drain", Obs.Trace.F biases.drain);
+              ("delta", Obs.Trace.F delta);
+              ("iterations", Obs.Trace.I iter);
+            ]
+          (Printf.sprintf "Gummel stalled at Vg=%.3f Vd=%.3f (delta %.2e V)" biases.gate
+             biases.drain delta);
         raise
           (No_convergence
              (Printf.sprintf "Gummel stalled at Vg=%.3f Vd=%.3f (delta %.2e V)" biases.gate
-                biases.drain delta));
+                biases.drain delta))
+      end;
+      Obs.Metrics.observe inner_iterations_hist (float_of_int iter);
       {
         biases;
         psi = psi';
@@ -102,6 +124,16 @@ let solve_at ?(tol = 5e-7) ?(max_gummel = 40) ?(ramp_step = 0.1) ?srh dev ~from 
   in
   let total = dist from.biases target in
   let steps = Int.max 1 (int_of_float (ceil (total /. ramp_step))) in
+  Obs.Trace.with_span ~cat:"tcad"
+    ~attrs:
+      [
+        ("gate", Obs.Trace.F target.Poisson.gate);
+        ("drain", Obs.Trace.F target.Poisson.drain);
+        ("steps", Obs.Trace.I steps);
+      ]
+    "gummel.solve_at"
+  @@ fun () ->
+  Obs.Metrics.observe ramp_steps_hist (float_of_int steps);
   let interp frac =
     let mix a b = a +. (frac *. (b -. a)) in
     {

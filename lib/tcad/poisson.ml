@@ -32,6 +32,8 @@ let contact_potential dev b term net =
   terminal_bias b term
   +. Physics.Silicon.bulk_potential_of_net_doping ~t:dev.Structure.desc.temperature net
 
+let iterations_hist = Obs.Metrics.histogram "tcad.poisson.iterations"
+
 let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
   let mesh = dev.Structure.mesh in
   let nx = mesh.Mesh.nx and ny = mesh.Mesh.ny in
@@ -104,8 +106,19 @@ let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
       let _ = Numerics.Guard.vec ~origin:"Poisson.solve: converged potential" psi in
       { psi; iterations = iter; residual = scaled_res; converged = true }
     end
-    else if iter >= max_iter then
+    else if iter >= max_iter then begin
+      Obs.non_converged ~solver:"tcad.poisson"
+        ~attrs:
+          [
+            ("gate", Obs.Trace.F biases.gate);
+            ("drain", Obs.Trace.F biases.drain);
+            ("residual", Obs.Trace.F scaled_res);
+            ("iterations", Obs.Trace.I iter);
+          ]
+        (Printf.sprintf "Newton stalled at Vg=%.3f Vd=%.3f (residual %.2e after %d iterations)"
+           biases.gate biases.drain scaled_res iter);
       { psi; iterations = iter; residual = scaled_res; converged = false }
+    end
     else begin
       if Sys.getenv_opt "TCAD_DEBUG" <> None then
         Printf.eprintf "poisson iter %d: scaled_res %.3e\n%!" iter scaled_res;
@@ -117,4 +130,16 @@ let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
       iterate (iter + 1)
     end
   in
-  iterate 0
+  Obs.Trace.with_span ~cat:"tcad"
+    ~attrs:
+      [
+        ("nx", Obs.Trace.I nx);
+        ("ny", Obs.Trace.I ny);
+        ("gate", Obs.Trace.F biases.gate);
+        ("drain", Obs.Trace.F biases.drain);
+      ]
+    "poisson.solve"
+  @@ fun () ->
+  let sol = iterate 0 in
+  Obs.Metrics.observe iterations_hist (float_of_int sol.iterations);
+  sol

@@ -260,6 +260,46 @@ let root_tests =
     u "find_bracket gives up on rootless functions" (fun () ->
         Alcotest.(check bool) "none" true
           (Root.find_bracket ~max_iter:10 (fun x -> (x *. x) +. 1.0) 0.0 1.0 = None));
+    u "bisect raises No_convergence when the budget runs out" (fun () ->
+        match Root.bisect ~max_iter:3 cos 1.0 2.0 with
+        | exception Root.No_convergence { method_; iterations; a; b; _ } ->
+          Alcotest.(check string) "method" "bisect" method_;
+          Alcotest.(check int) "iterations" 3 iterations;
+          Alcotest.(check bool) "bracket still straddles" true (a < Float.pi /. 2.0 && Float.pi /. 2.0 < b)
+        | r -> Alcotest.failf "expected No_convergence, got %g" r);
+    u "bisect on_fail:`Accept returns the best iterate" (fun () ->
+        let r = Root.bisect ~max_iter:3 ~on_fail:`Accept cos 1.0 2.0 in
+        Alcotest.(check bool) "coarse midpoint" true (Float.abs (r -. (Float.pi /. 2.0)) < 0.2));
+    u "brent raises No_convergence when the budget runs out" (fun () ->
+        match Root.brent ~max_iter:2 cos 1.0 2.0 with
+        | exception Root.No_convergence { method_; _ } ->
+          Alcotest.(check string) "method" "brent" method_
+        | r -> Alcotest.failf "expected No_convergence, got %g" r);
+    u "newton raises No_convergence when the budget runs out" (fun () ->
+        (* x^2 + 1 has no real root: Newton wanders forever. *)
+        match Root.newton ~max_iter:20 ~f:(fun x -> (x *. x) +. 1.0) ~df:(fun x -> 2.0 *. x) 0.3 with
+        | exception Root.No_convergence { method_; iterations; _ } ->
+          Alcotest.(check string) "method" "newton" method_;
+          Alcotest.(check int) "iterations" 20 iterations
+        | r -> Alcotest.failf "expected No_convergence, got %g" r);
+    u "converging budgets are unchanged by the on_fail machinery" (fun () ->
+        (* Bit-identical to the same calls without ?on_fail: the tolerance
+           check precedes the budget check, so a converging sequence never
+           touches the exhaustion path. *)
+        Alcotest.(check (float 0.0)) "bisect" (Root.bisect cos 1.0 2.0)
+          (Root.bisect ~on_fail:`Accept cos 1.0 2.0);
+        Alcotest.(check (float 0.0)) "brent" (Root.brent cos 1.0 2.0)
+          (Root.brent ~on_fail:`Accept cos 1.0 2.0));
+    u "find_bracket refuses NaN endpoint evaluations" (fun () ->
+        let f x = if x > 1.5 then Float.nan else x -. 10.0 in
+        Alcotest.(check bool) "none" true (Root.find_bracket ~max_iter:10 f 0.0 1.0 = None));
+    u "find_bracket refuses infinite endpoint evaluations" (fun () ->
+        (* -inf * positive < 0 looks like a sign change; it must not. *)
+        let f x = if x < -1.0 then Float.neg_infinity else (x *. x) +. 1.0 in
+        Alcotest.(check bool) "none" true (Root.find_bracket ~max_iter:10 f 0.0 1.0 = None));
+    u "find_bracket refuses a NaN starting endpoint" (fun () ->
+        let f x = if x = 0.0 then Float.nan else x in
+        Alcotest.(check bool) "none" true (Root.find_bracket ~max_iter:10 f 0.0 1.0 = None));
   ]
 
 let minimize_tests =
