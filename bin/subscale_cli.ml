@@ -1,11 +1,22 @@
 (* subscale: command-line front end.
 
-   subcommands:
-     run <ids>      reproduce tables/figures (table1..fig12 or "all")
+   subcommands (the four analysis/verification passes first, then the
+   simulation drivers and exporters):
      check          static-analysis pass over devices, circuits and designs
+     audit          interval-validity + memo/determinism audit of the engine
+     lint           typedtree source linter (purity/race, float/exception/
+                    output hygiene) over the .cmt artifacts dune produces
+     run <ids>      reproduce tables/figures (table1..fig12 or "all")
      device         print compact-model characteristics for one node
      tcad           run the 2-D TCAD characterization for one node (slower)
-     sweep          dump a compact-model Id-Vg sweep as CSV *)
+     sweep          dump a compact-model Id-Vg sweep as CSV
+     liberty        characterize a cell library into a Liberty file
+     export         write a generated circuit as a SPICE deck
+     verilog        emit a gate-level adder as structural Verilog
+
+   check/audit/lint share the same conventions: structured diagnostics
+   with registry-minted rule ids, --selftest, --strict, exit 1 on
+   findings. *)
 
 open Cmdliner
 module Diag = Subscale.Check.Diagnostic
@@ -960,10 +971,172 @@ let audit_cmd =
     Term.(const run $ log_term $ jobs_term $ obs_term $ validity $ memo $ schedules $ strict
           $ selftest $ op_vdd $ widen)
 
+(* ------------------------------------------------------------------ *)
+(* lint: the typedtree-based source linter over dune's .cmt artifacts. *)
+
+module L = Subscale.Lint
+
+let lint_selftest () =
+  let results = L.Selftest.run () in
+  let failures = ref 0 in
+  List.iter
+    (fun (r : L.Selftest.result) ->
+      if r.L.Selftest.ok then
+        Printf.printf "  ok    %-48s -> %s\n" r.L.Selftest.name r.L.Selftest.detail
+      else begin
+        incr failures;
+        Printf.printf "  FAIL  %-48s %s\n" r.L.Selftest.name r.L.Selftest.detail
+      end)
+    results;
+  if !failures > 0 then begin
+    Printf.printf "lint selftest: %d case(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline
+    "lint selftest: every LNT rule fires on its crafted source, near-misses stay clean"
+
+let lint_update_baseline ~baseline_path (app : L.Baseline.application) old_baseline =
+  (* Keep the justification of every entry that still matches; new findings
+     get a TODO note so the diff shows exactly what needs justifying. *)
+  let note_of d =
+    match L.Baseline.entry_of_diag d with
+    | None -> None
+    | Some fresh ->
+      let note =
+        match
+          List.find_opt
+            (fun (e : L.Baseline.entry) ->
+              e.L.Baseline.rule = fresh.L.Baseline.rule
+              && e.L.Baseline.file = fresh.L.Baseline.file
+              && e.L.Baseline.line = fresh.L.Baseline.line)
+            old_baseline
+        with
+        | Some e when e.L.Baseline.note <> "" -> e.L.Baseline.note
+        | _ -> "— TODO: justify or fix"
+      in
+      Some { fresh with L.Baseline.note }
+  in
+  let entries = List.filter_map note_of (app.L.Baseline.kept @ app.L.Baseline.suppressed) in
+  let entries =
+    List.sort_uniq
+      (fun (a : L.Baseline.entry) b ->
+        compare
+          (a.L.Baseline.file, a.L.Baseline.line, a.L.Baseline.rule)
+          (b.L.Baseline.file, b.L.Baseline.line, b.L.Baseline.rule))
+      entries
+  in
+  let oc = open_out baseline_path in
+  output_string oc (L.Baseline.to_string entries);
+  close_out oc;
+  Printf.printf "lint: wrote %d baseline entr%s to %s\n" (List.length entries)
+    (if List.length entries = 1 then "y" else "ies")
+    baseline_path
+
+let lint_cmd =
+  let selftest =
+    let doc =
+      "Run the linter's own test: crafted sources compiled on the fly must \
+       each fire exactly their LNT rule, the near-misses must stay clean, \
+       and the rule-id registry must be collision-free."
+    in
+    Arg.(value & flag & info [ "selftest" ] ~doc)
+  in
+  let strict =
+    let doc = "Exit non-zero on warnings and stale baseline entries too, not only errors." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let rules =
+    let doc = "Print the rule table as markdown (the contents of docs/lint-rules.md)." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Baseline file of grandfathered findings ($(b,<rule> <file>:<line> — \
+       justification) per line); missing file means an empty baseline."
+    in
+    Arg.(value & opt string "lint.baseline" & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let root_arg =
+    let doc =
+      "Directory scanned recursively for .cmt artifacts (run $(b,dune build) \
+       first; dune puts library typedtrees under _build/default/lib)."
+    in
+    Arg.(value & opt string "_build/default/lib" & info [ "root" ] ~docv:"DIR" ~doc)
+  in
+  let update =
+    let doc =
+      "Rewrite the baseline file from the current findings, keeping existing \
+       justifications and marking new entries TODO."
+    in
+    Arg.(value & flag & info [ "update-baseline" ] ~doc)
+  in
+  let run () selftest strict rules baseline_path root update =
+    if rules then print_string (L.rules_markdown ())
+    else if selftest then lint_selftest ()
+    else begin
+      if not (Sys.file_exists root && Sys.is_directory root) then begin
+        Printf.eprintf
+          "lint: %s does not exist — run `dune build` first, or point --root at \
+           the directory holding the .cmt artifacts\n"
+          root;
+        exit 2
+      end;
+      let reports = L.lint_root root in
+      let baseline =
+        match L.Baseline.load baseline_path with
+        | b -> b
+        | exception L.Baseline.Malformed (line, content) ->
+          Printf.eprintf "lint: malformed baseline %s:%d: %S\n" baseline_path line content;
+          exit 2
+      in
+      let app = L.Baseline.apply baseline (L.all_diags reports) in
+      if update then lint_update_baseline ~baseline_path app baseline
+      else begin
+        Printf.printf "lint: scanned %d compilation unit(s) under %s\n"
+          (List.length reports) root;
+        List.iter
+          (fun d -> Printf.printf "  %s\n" (Diag.to_string d))
+          (Diag.sort app.L.Baseline.kept);
+        if app.L.Baseline.suppressed <> [] then
+          Printf.printf "  baseline: %d finding(s) grandfathered by %s\n"
+            (List.length app.L.Baseline.suppressed)
+            baseline_path;
+        List.iter
+          (fun (e : L.Baseline.entry) ->
+            Printf.printf "  stale baseline entry (fixed? remove it): %s\n"
+              (L.Baseline.entry_to_string e))
+          app.L.Baseline.stale;
+        let kept = app.L.Baseline.kept in
+        let _, w, _ = Diag.count kept in
+        Printf.printf "lint: %s\n" (Diag.summary kept);
+        let code = Diag.exit_code kept in
+        exit
+          (if code <> 0 then code
+           else if strict && (w > 0 || app.L.Baseline.stale <> []) then 1
+           else 0)
+      end
+    end
+  in
+  let doc = "Typedtree source linter: purity/race, float, exception and output hygiene" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Walks the .cmt typedtrees dune already produced (no re-typechecking) \
+          and reports: closures entering the domain-parallel engine that touch \
+          unsanctioned mutable state (LNT001), polymorphic equality on floats \
+          (LNT002), exception-swallowing catch-alls (LNT003), diagnostic rule \
+          ids minted outside Check.Rules (LNT004) and direct printing in \
+          library code (LNT005).";
+      `P "Exit code 0 when no non-baselined errors were found (warnings allowed \
+          unless $(b,--strict)), 1 otherwise.  Like $(b,check) and $(b,audit), \
+          findings are structured diagnostics with registry-minted rule ids." ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(const run $ log_term $ selftest $ strict $ rules $ baseline_arg $ root_arg $ update)
+
 let main =
   let doc = "Subthreshold device-scaling study (DAC 2007 reproduction)" in
   Cmd.group (Cmd.info "subscale" ~doc ~version:"1.0.0")
-    [ run_cmd; check_cmd; audit_cmd; device_cmd; tcad_cmd; sweep_cmd; liberty_cmd;
-      export_cmd; verilog_cmd ]
+    [ run_cmd; check_cmd; audit_cmd; lint_cmd; device_cmd; tcad_cmd; sweep_cmd;
+      liberty_cmd; export_cmd; verilog_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -22,5 +22,5 @@ let delay_factor_const_ioff pair ~sizing =
 let normalize = function
   | [] -> []
   | first :: _ as values ->
-    if first = 0.0 then invalid_arg "Metrics.normalize: zero first element";
+    if Float.equal first 0.0 then invalid_arg "Metrics.normalize: zero first element";
     List.map (fun v -> v /. first) values

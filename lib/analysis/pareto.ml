@@ -15,7 +15,7 @@ let curve ?(sizing = Circuits.Inverter.balanced_sizing ()) ?(stages = 30) ?(alph
        (Numerics.Vec.linspace lo hi points))
 
 let pareto_front points =
-  let sorted = List.sort (fun a b -> compare a.delay b.delay) points in
+  let sorted = List.sort (fun a b -> Float.compare a.delay b.delay) points in
   let rec keep best_energy = function
     | [] -> []
     | p :: rest ->

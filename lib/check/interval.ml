@@ -29,7 +29,7 @@ let top = { lo = neg_infinity; hi = infinity }
 let lo i = i.lo
 let hi i = i.hi
 let width i = i.hi -. i.lo
-let is_point i = i.lo = i.hi
+let is_point i = Float.equal i.lo i.hi
 let mem x i = Float.is_nan x = false && x >= i.lo && x <= i.hi
 let subset a b = a.lo >= b.lo && a.hi <= b.hi
 let straddles_zero i = i.lo < 0.0 && i.hi > 0.0
@@ -71,9 +71,9 @@ let scale k i = mul (point k) i
    [straddles_zero] / [contains_zero]. *)
 let inv i =
   if contains_zero i then
-    if i.lo = 0.0 && i.hi = 0.0 then top
-    else if i.lo = 0.0 then { lo = down (1.0 /. i.hi); hi = infinity }
-    else if i.hi = 0.0 then { lo = neg_infinity; hi = up (1.0 /. i.lo) }
+    if Float.equal i.lo 0.0 && Float.equal i.hi 0.0 then top
+    else if Float.equal i.lo 0.0 then { lo = down (1.0 /. i.hi); hi = infinity }
+    else if Float.equal i.hi 0.0 then { lo = neg_infinity; hi = up (1.0 /. i.lo) }
     else top
   else
     let c1 = 1.0 /. i.lo and c2 = 1.0 /. i.hi in
@@ -110,9 +110,9 @@ let sqrt i =
 let pow_const i c =
   if i.hi < 0.0 then raise (Invalid "Interval.pow_const: negative base");
   let clamped = { lo = Float.max i.lo 0.0; hi = i.hi } in
-  if c = 0.0 then point 1.0
+  if Float.equal c 0.0 then point 1.0
   else if c > 0.0 then mono_incr (fun x -> x ** c) clamped
-  else if clamped.lo = 0.0 then { lo = down2 (clamped.hi ** c); hi = infinity }
+  else if Float.equal clamped.lo 0.0 then { lo = down2 (clamped.hi ** c); hi = infinity }
   else mono_decr (fun x -> x ** c) clamped
 
 let min_ a b = { lo = Float.min a.lo b.lo; hi = Float.min a.hi b.hi }

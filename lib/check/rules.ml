@@ -37,19 +37,20 @@ let all () =
   Mutex.unlock lock;
   entries
 
-(* A well-formed id is either kebab-case ("net-floating-node") or an
-   AUD-series id ("AUD001"). *)
+(* A well-formed id is either kebab-case ("net-floating-node") or one of
+   the prefixed numeric series: "AUD001" (audit) or "LNT001" (source
+   lint). *)
 let well_formed id =
   let kebab =
     String.length id > 0
     && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-') id
   in
-  let aud =
+  let series prefix =
     String.length id = 6
-    && String.sub id 0 3 = "AUD"
+    && String.sub id 0 3 = prefix
     && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub id 3 3)
   in
-  kebab || aud
+  kebab || series "AUD" || series "LNT"
 
 let selftest () =
   let entries = all () in

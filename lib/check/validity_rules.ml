@@ -70,7 +70,7 @@ type box = {
 }
 
 let box_of_physical ?(widen = 0.0) (p : P.physical) =
-  let iv v = if widen = 0.0 then I.point v else I.widen ~rel:widen (I.point v) in
+  let iv v = if Float.equal widen 0.0 then I.point v else I.widen ~rel:widen (I.point v) in
   {
     lpoly = iv p.P.lpoly;
     tox = iv p.P.tox;

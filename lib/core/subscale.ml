@@ -17,6 +17,9 @@
     - {!Sta} — cell characterization and static timing analysis;
     - {!Check} — pre-solver static analysis (deck DRC, physics validation,
       STA lint, non-finite guards) with structured diagnostics;
+    - {!Lint} — typedtree-based source linter (purity/race pass for the
+      parallel engine, float/exception/output hygiene) over the .cmt
+      artifacts dune produces;
     - {!Exec} — the domain pool ({!Exec.Pool}) every sweep fans out
       through, and the content-addressed memo tables ({!Exec.Memo}) that
       share device solves across experiments;
@@ -35,5 +38,6 @@ module Interconnect = Interconnect
 module Sta = Sta
 module Report = Report
 module Check = Check
+module Lint = Lint
 module Obs = Obs
 module Experiments = Experiments

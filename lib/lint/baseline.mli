@@ -1,0 +1,29 @@
+(** The checked-in baseline of grandfathered findings.
+
+    Format: one [<rule> <file>:<line> — justification] entry per line
+    ([#] comments and blanks ignored).  Matching ignores the column, and
+    entries that no longer match anything are reported as stale. *)
+
+type entry = { rule : string; file : string; line : int; note : string }
+type t = entry list
+
+exception Malformed of int * string
+(** Line number and content of an unparseable baseline line. *)
+
+val of_string : string -> t
+val load : string -> t
+(** [load path] is [[]] when the file does not exist. *)
+
+val entry_to_string : entry -> string
+val to_string : t -> string
+(** Render with the standard header (the [--update-baseline] output). *)
+
+val entry_of_diag : ?note:string -> Check.Diagnostic.t -> entry option
+
+type application = {
+  kept : Check.Diagnostic.t list;
+  suppressed : Check.Diagnostic.t list;
+  stale : entry list;
+}
+
+val apply : t -> Check.Diagnostic.t list -> application

@@ -1,0 +1,60 @@
+(* Locating and reading the .cmt typedtree artifacts dune already produces
+   (dune passes -bin-annot unconditionally), so linting never re-typechecks
+   anything: `dune build` is the only prerequisite.
+
+   Under _build/default/lib the artifacts live at
+   lib/<dir>/.<libname>.objs/byte/<Mangled__Module>.cmt; we scan
+   recursively so the layout details never matter. *)
+
+type unit_info = {
+  cmt_path : string;
+  source : string;  (* as recorded by the compiler, e.g. "lib/exec/pool.ml" *)
+  structure : Typedtree.structure;
+}
+
+type load_result = Unit of unit_info | Skipped | Unreadable of string * string
+
+(* Generated wrapper modules (exec__.ml-gen and friends) carry no source
+   of ours; interfaces and partial implementations have no typedtree to
+   lint. *)
+let load cmt_path =
+  match Cmt_format.read_cmt cmt_path with
+  | exception e -> Unreadable (cmt_path, Printexc.to_string e)
+  | cmt ->
+    (match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+     | Cmt_format.Implementation structure, Some source
+       when not (Filename.check_suffix source "-gen") ->
+       Unit { cmt_path; source; structure }
+     | _ -> Skipped)
+
+let rec scan_dir acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then scan_dir acc path
+        else if Filename.check_suffix entry ".cmt" then path :: acc
+        else acc)
+      acc entries
+
+(* Every .cmt under [root], loaded, deduplicated by source file and sorted
+   by source path so reports are stable whatever the directory order. *)
+let load_root root =
+  let cmts = List.rev (scan_dir [] root) in
+  let seen = Hashtbl.create 64 in
+  let units, unreadable =
+    List.fold_left
+      (fun (units, bad) path ->
+        match load path with
+        | Unit u ->
+          if Hashtbl.mem seen u.source then (units, bad)
+          else (Hashtbl.add seen u.source (); (u :: units, bad))
+        | Skipped -> (units, bad)
+        | Unreadable (p, msg) -> (units, (p, msg) :: bad))
+      ([], []) cmts
+  in
+  ( List.sort (fun a b -> String.compare a.source b.source) units,
+    List.rev unreadable )

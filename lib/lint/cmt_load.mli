@@ -1,0 +1,18 @@
+(** Locating and reading the .cmt typedtree artifacts dune produces; the
+    linter never re-typechecks anything. *)
+
+type unit_info = {
+  cmt_path : string;
+  source : string;  (** compiler-recorded source path, e.g. "lib/exec/pool.ml" *)
+  structure : Typedtree.structure;
+}
+
+type load_result = Unit of unit_info | Skipped | Unreadable of string * string
+
+val load : string -> load_result
+(** Read one .cmt.  [Skipped] for interfaces, packed modules and generated
+    wrapper modules ([*-gen] sources). *)
+
+val load_root : string -> unit_info list * (string * string) list
+(** All implementation units under a directory tree, deduplicated by source
+    file and sorted by source path, plus any unreadable artifacts. *)

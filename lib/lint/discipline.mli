@@ -1,0 +1,5 @@
+(** LNT004 — diagnostic discipline: [Diagnostic.error]/[warning]/[info]/
+    [make] must receive a [~rule] identifier minted via [Check.Rules], never
+    a string literal. *)
+
+val check : source:string -> Typedtree.structure -> Check.Diagnostic.t list

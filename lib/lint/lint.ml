@@ -1,0 +1,78 @@
+(** Lint: the typedtree-based source linter behind [subscale lint].
+
+    Driven entirely by the .cmt artifacts dune already produces (compiler
+    -bin-annot output) — no re-typechecking, `dune build` is the only
+    prerequisite.  Rule families:
+
+    - {!Purity} — LNT001: closures entering the domain-parallel engine
+      must not capture or mutate unsanctioned mutable state;
+    - {!Hygiene} — LNT002 float discipline, LNT003 exception hygiene,
+      LNT005 output hygiene;
+    - {!Discipline} — LNT004: rule ids minted via [Check.Rules] only.
+
+    Findings are {!Check.Diagnostic}s, so reports and exit codes behave
+    exactly like [subscale check]/[audit]; deliberate keeps live in the
+    checked-in {!Baseline} file with a justification. *)
+
+module Rules = Lint_rules
+module Baseline = Baseline
+module Purity = Purity
+module Hygiene = Hygiene
+module Discipline = Discipline
+module Cmt_load = Cmt_load
+module Selftest = Selftest
+
+module D = Check.Diagnostic
+
+type file_report = { source : string; diags : D.t list }
+
+(* The sanctioned output layers: LNT005 does not apply to the modules whose
+   whole job is producing output. *)
+let output_exempt_dirs = [ "lib/report/"; "lib/obs/" ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let exempt_output source =
+  List.exists (fun prefix -> starts_with ~prefix source) output_exempt_dirs
+
+let lint_unit (u : Cmt_load.unit_info) : file_report =
+  let source = u.Cmt_load.source in
+  let diags =
+    Purity.check ~source u.Cmt_load.structure
+    @ Hygiene.check ~source ~exempt_output:(exempt_output source) u.Cmt_load.structure
+    @ Discipline.check ~source u.Cmt_load.structure
+  in
+  { source; diags = D.sort diags }
+
+let lint_cmt path =
+  match Cmt_load.load path with
+  | Cmt_load.Unit u -> Some (lint_unit u)
+  | Cmt_load.Skipped -> None
+  | Cmt_load.Unreadable (p, msg) ->
+    Some
+      { source = p;
+        diags =
+          [ D.warning ~rule:Lint_rules.unreadable_cmt ~location:p
+              (Printf.sprintf "unreadable .cmt artifact: %s" msg)
+              ~hint:"stale build? re-run `dune build` and lint again" ] }
+
+let lint_root root =
+  let units, unreadable = Cmt_load.load_root root in
+  let reports = List.map lint_unit units in
+  let unreadable_reports =
+    List.map
+      (fun (p, msg) ->
+        { source = p;
+          diags =
+            [ D.warning ~rule:Lint_rules.unreadable_cmt ~location:p
+                (Printf.sprintf "unreadable .cmt artifact: %s" msg)
+                ~hint:"stale build? re-run `dune build` and lint again" ] })
+      unreadable
+  in
+  reports @ unreadable_reports
+
+let all_diags reports = List.concat_map (fun r -> r.diags) reports
+
+let rules_markdown = Lint_rules.markdown

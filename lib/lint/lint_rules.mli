@@ -1,0 +1,37 @@
+(** The LNT rule family: ids minted through {!Check.Rules} (so a collision
+    with any DRC or AUD rule fails at link time) plus the metadata behind
+    [subscale lint --rules]. *)
+
+type meta = {
+  id : string;
+  severity : Check.Diagnostic.severity;
+  title : string;
+  fires_on : string;
+  stays_clean_on : string;
+}
+
+val lnt001 : string
+(** Purity/race: parallel closures must not capture or mutate unsanctioned
+    mutable state. *)
+
+val lnt002 : string
+(** Float discipline: no polymorphic [=]/[compare] on floats. *)
+
+val lnt003 : string
+(** Exception hygiene: no non-re-raising catch-alls. *)
+
+val lnt004 : string
+(** Diagnostic discipline: rule ids only minted via [Check.Rules]. *)
+
+val lnt005 : string
+(** Output hygiene: no direct printing in lib/. *)
+
+val unreadable_cmt : string
+(** Infrastructure warning: a .cmt artifact could not be read. *)
+
+val all : meta list
+val find : string -> meta option
+val severity_of_id : string -> Check.Diagnostic.severity
+
+val markdown : unit -> string
+(** The rule table as markdown (checked in as docs/lint-rules.md). *)

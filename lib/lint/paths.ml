@@ -1,0 +1,89 @@
+(* Path and type classification shared by every lint pass.
+
+   The typedtree records fully resolved [Path.t]s, so "what function is
+   being applied" and "what type does this identifier have" are exact —
+   no name-based guessing beyond normalizing the [Stdlib] prefixes the
+   compiler inserts ("Stdlib.ref", "Stdlib.Hashtbl.t", "Stdlib!.=" never
+   appear in source but always in paths). *)
+
+(* Strip the "Stdlib." / "Stdlib__" wrappers so matching works against the
+   names a programmer writes: "Stdlib.Hashtbl.add" and "Stdlib__Hashtbl.add"
+   both normalize to "Hashtbl.add". *)
+let normalize name =
+  let strip_component c =
+    let prefix p = String.length c > String.length p && String.sub c 0 (String.length p) = p in
+    if c = "Stdlib" then None
+    else if prefix "Stdlib__" then
+      (* "Stdlib__Hashtbl" -> "Hashtbl": undo the internal module mangling. *)
+      let rest = String.sub c 8 (String.length c - 8) in
+      Some (String.capitalize_ascii rest)
+    else Some c
+  in
+  String.concat "." (List.filter_map strip_component (String.split_on_char '.' name))
+
+let path_name p = normalize (Path.name p)
+
+(* [suffix_matches ~candidates name] — does [name] equal a candidate or end
+   with ".candidate"?  Suffix matching makes "Exec.Pool.map" hit the
+   "Pool.map" target and lets fixtures define local modules with the same
+   shape as the real libraries. *)
+let suffix_matches ~candidates name =
+  List.exists
+    (fun c ->
+      name = c
+      || (let lc = String.length c and ln = String.length name in
+          ln > lc + 1 && String.sub name (ln - lc - 1) (lc + 1) = "." ^ c))
+    candidates
+
+(* Head ident of an application: [Some path] when the applied expression is
+   a plain identifier (possibly via Texp_ident under coercion extras). *)
+let applied_path (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | _ -> None
+
+(* --- type classification ------------------------------------------------ *)
+
+(* Follow Tlink/Tsubst chains but do not expand abbreviations: an abstract
+   type like [Exec.Memo.t] stays abstract, which is exactly the whitelist
+   semantics we want (mutability hidden behind a sanctioned API is fine). *)
+let head_constr ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) -> Some (path_name p, args)
+  | _ -> None
+
+(* Containers that are always a race hazard when captured by a closure that
+   runs on another domain: even a read races with a writer elsewhere.
+   [Atomic.t] is deliberately absent — atomics are the memory-model-sanctioned
+   primitive and cannot tear; determinism abuse of atomics is what the
+   dynamic schedule audit (subscale audit --schedules) convicts. *)
+let mutable_container_names =
+  [ "ref"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t" ]
+
+let is_mutable_container ty =
+  match head_constr ty with
+  | Some (name, _) -> suffix_matches ~candidates:mutable_container_names name
+  | None -> false
+
+let is_array ty =
+  match head_constr ty with
+  | Some (name, _) -> name = "array" || name = "bytes" || name = "floatarray"
+  | None -> false
+
+(* Float-ish: float itself, or a float sitting directly inside a tuple,
+   option, list or array.  Deeper nesting (records carrying floats, maps of
+   floats) needs environment expansion and is out of scope — documented in
+   DESIGN.md as an under-approximation of LNT002. *)
+let rec is_floatish ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | Types.Tconstr (p, [ arg ], _) ->
+    (Path.same p Predef.path_option || Path.same p Predef.path_list
+    || Path.same p Predef.path_array)
+    && is_floatish arg
+  | Types.Ttuple comps -> List.exists is_floatish comps
+  | _ -> false
+
+(* Render a type's head constructor for messages ("ref", "Hashtbl.t", ...). *)
+let describe_type ty =
+  match head_constr ty with Some (name, _) -> name | None -> "<abstract>"

@@ -1,0 +1,242 @@
+(* LNT001 — the purity/race pass.
+
+   Every literal closure handed to the domain-parallel entry points
+   (Exec.map/map2/mapi/map_array, Pool.map) runs concurrently on several
+   domains, so it must not touch mutable state it shares with anything
+   else.  The pass walks each such closure's typedtree and convicts:
+
+   - captures of always-hazardous containers (ref, Hashtbl.t, Buffer.t,
+     Queue.t, Stack.t) — even a read races with a writer elsewhere;
+   - mutations (r := v, x.f <- v, Array.set/fill/blit, Hashtbl.add/...,
+     Bytes.set, instance variables) whose target is captured, global, or
+     not provably a value the closure allocated itself.
+
+   Sanctioned escape hatches are whitelisted: identifiers reached through
+   [Exec.Memo] or [Obs] (their tables/counters are domain-safe by
+   construction and audited dynamically by [subscale audit]), and
+   [Atomic.t] (memory-model-sanctioned, cannot tear).
+
+   The analysis is sound-but-conservative over the constructs it models;
+   the deliberate approximations (named-function arguments, aliasing
+   through non-trivial bindings) are documented in DESIGN.md and
+   backstopped by the dynamic schedule audit. *)
+
+module D = Check.Diagnostic
+open Typedtree
+
+let target_functions =
+  [ "Exec.map"; "Exec.map2"; "Exec.mapi"; "Exec.map_array"; "Pool.map" ]
+
+(* Identifier paths reached through these prefixes are sanctioned shared
+   state.  "Memo." covers lib/exec's own internal call sites, where the
+   module is in scope unqualified. *)
+let whitelisted_prefixes = [ "Exec.Memo."; "Obs."; "Memo."; "Metrics." ]
+
+let whitelisted name =
+  List.exists
+    (fun p ->
+      String.length name >= String.length p && String.sub name 0 (String.length p) = p)
+    whitelisted_prefixes
+
+let ref_mutators = [ ":="; "incr"; "decr" ]
+
+let hashtbl_mutators =
+  [ "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.filter_map_inplace" ]
+
+let container_mutators = [ "Buffer.add_string"; "Buffer.add_char"; "Buffer.clear";
+                           "Buffer.reset"; "Queue.push"; "Queue.add"; "Queue.pop";
+                           "Queue.take"; "Queue.clear"; "Stack.push"; "Stack.pop";
+                           "Stack.clear" ]
+
+let array_mutators =
+  [ "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit";
+    "Bytes.set"; "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit";
+    "Float.Array.set"; "Floatarray.set" ]
+
+(* Root identifier of an lvalue-ish expression: [r], [state.field],
+   [grid.cells] all root at the identifier; anything else is opaque. *)
+let rec root_path (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (e', _, _) -> root_path e'
+  | _ -> None
+
+type mutation = { target : Path.t option; kind : string; mut_loc : Location.t }
+
+type lambda_facts = {
+  bound : (string, unit) Hashtbl.t;        (* Ident.unique_name of locally bound ids *)
+  aliases : (string, Path.t) Hashtbl.t;    (* let x = y aliases worth tracking *)
+  mutable uses : (Path.t * Types.type_expr * Location.t) list;
+  mutable mutations : mutation list;
+}
+
+(* One pass over a closure body collecting bindings, identifier uses and
+   mutation sites; judgement happens afterwards so alias chains resolve
+   regardless of binding order. *)
+let collect (lam : expression) : lambda_facts =
+  let facts =
+    { bound = Hashtbl.create 32; aliases = Hashtbl.create 8; uses = []; mutations = [] }
+  in
+  let add_mutation ?target kind loc =
+    facts.mutations <- { target; kind; mut_loc = loc } :: facts.mutations
+  in
+  let first_positional args =
+    List.find_map
+      (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+      args
+  in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+    fun it p ->
+    List.iter
+      (fun id -> Hashtbl.replace facts.bound (Ident.unique_name id) ())
+      (pat_bound_idents p);
+    Tast_iterator.default_iterator.pat it p
+  in
+  let value_binding it vb =
+    (match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+     | Tpat_var (id, _), Texp_ident (p, _, vd)
+       when Paths.is_mutable_container vd.Types.val_type
+            || Paths.is_array vd.Types.val_type ->
+       (* [let a = outer_array in ...]: a is bound, but mutating it mutates
+          the aliased value — remember the chain. *)
+       Hashtbl.replace facts.aliases (Ident.unique_name id) p
+     | _ -> ());
+    Tast_iterator.default_iterator.value_binding it vb
+  in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+     | Texp_ident (p, _, vd) -> facts.uses <- (p, vd.Types.val_type, e.exp_loc) :: facts.uses
+     | Texp_setfield (target, _, _, _) ->
+       add_mutation ?target:(root_path target) "record field assignment" e.exp_loc
+     | Texp_setinstvar _ -> add_mutation "instance variable assignment" e.exp_loc
+     | Texp_apply (fn, args) ->
+       (match Paths.applied_path fn with
+        | None -> ()
+        | Some p ->
+          let name = Paths.path_name p in
+          if List.mem name ref_mutators then
+            (match first_positional args with
+             | Some a -> add_mutation ?target:(root_path a) (name ^ " on ref") e.exp_loc
+             | None -> ())
+          else if Paths.suffix_matches ~candidates:hashtbl_mutators name
+               || Paths.suffix_matches ~candidates:container_mutators name then
+            (match first_positional args with
+             | Some a -> add_mutation ?target:(root_path a) name e.exp_loc
+             | None -> ())
+          else if Paths.suffix_matches ~candidates:array_mutators name then
+            (* set/fill/blit: any array/bytes argument is conservatively
+               treated as mutated (blit's source included). *)
+            List.iter
+              (function
+                | _, Some (a : expression) when Paths.is_array a.exp_type ->
+                  add_mutation ?target:(root_path a) name a.exp_loc
+                | _ -> ())
+              args)
+     | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with pat; value_binding; expr } in
+  it.expr it lam;
+  facts
+
+(* Resolve a path to Local (bound inside the closure, transitively through
+   recorded aliases) or Captured.  Module-level values (Pdot, or Pident of
+   the enclosing unit's own toplevel lets) are never in [bound], so they
+   resolve to Captured — which is exactly right: toplevel refs are shared
+   across every domain. *)
+let rec resolve facts ~depth p =
+  match p with
+  | Path.Pident id ->
+    let key = Ident.unique_name id in
+    (match Hashtbl.find_opt facts.aliases key with
+     | Some p' when depth < 8 -> resolve facts ~depth:(depth + 1) p'
+     | Some _ -> `Captured
+     | None -> if Hashtbl.mem facts.bound key then `Local else `Captured)
+  | _ -> `Captured
+
+let short_path p =
+  match p with Path.Pident id -> Ident.name id | _ -> Paths.path_name p
+
+(* Judge one closure passed to [caller]; emits at most one diagnostic per
+   (identifier, kind) so a ref used ten times reads as one finding. *)
+let judge ~source ~caller (lam : expression) : D.t list =
+  let facts = collect lam in
+  let seen = Hashtbl.create 8 in
+  let once key f = if Hashtbl.mem seen key then [] else (Hashtbl.add seen key (); f ()) in
+  let captures =
+    List.concat_map
+      (fun (p, ty, loc) ->
+        let name = Paths.path_name p in
+        if whitelisted name then []
+        else if not (Paths.is_mutable_container ty) then []
+        else
+          match resolve facts ~depth:0 p with
+          | `Local -> []
+          | `Captured ->
+            once ("cap:" ^ name) (fun () ->
+                [ D.error ~rule:Lint_rules.lnt001
+                    ~location:(Srcloc.to_string ~source loc)
+                    (Printf.sprintf
+                       "closure passed to %s captures mutable state: %s : %s" caller
+                       (short_path p) (Paths.describe_type ty))
+                    ~hint:
+                      "pass the data immutably, or route shared state through the \
+                       domain-safe Exec.Memo / Obs.Metrics APIs" ]))
+      (List.rev facts.uses)
+  in
+  let mutations =
+    List.concat_map
+      (fun { target; kind; mut_loc } ->
+        match target with
+        | Some p ->
+          let name = Paths.path_name p in
+          if whitelisted name then []
+          else (
+            match resolve facts ~depth:0 p with
+            | `Local -> []
+            | `Captured ->
+              once ("mut:" ^ name ^ ":" ^ kind) (fun () ->
+                  [ D.error ~rule:Lint_rules.lnt001
+                      ~location:(Srcloc.to_string ~source mut_loc)
+                      (Printf.sprintf "closure passed to %s mutates %s (%s)" caller
+                         (short_path p) kind)
+                      ~hint:
+                        "only state allocated inside the closure may be mutated; \
+                         shared results belong in the returned value" ]))
+        | None ->
+          once ("mut:<opaque>:" ^ kind) (fun () ->
+              [ D.error ~rule:Lint_rules.lnt001
+                  ~location:(Srcloc.to_string ~source mut_loc)
+                  (Printf.sprintf
+                     "closure passed to %s mutates a value the purity pass cannot \
+                      prove domain-local (%s)"
+                     caller kind)
+                  ~hint:"bind the mutated value to a name allocated inside the closure" ]))
+      (List.rev facts.mutations)
+  in
+  captures @ mutations
+
+(* The pass proper: find applications of the parallel entry points and
+   judge every literal-closure argument. *)
+let check ~source (str : structure) : D.t list =
+  let diags = ref [] in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+     | Texp_apply (fn, args) ->
+       (match Paths.applied_path fn with
+        | Some p when Paths.suffix_matches ~candidates:target_functions (Paths.path_name p) ->
+          let caller = Paths.path_name p in
+          List.iter
+            (function
+              | _, Some ({ exp_desc = Texp_function _; _ } as lam) ->
+                diags := judge ~source ~caller lam @ !diags
+              | _ -> ())
+            args
+        | _ -> ())
+     | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.structure it str;
+  List.rev !diags

@@ -1,0 +1,15 @@
+(** LNT001 — purity/race analysis of closures entering the domain-parallel
+    engine ([Exec.map]/[map2]/[mapi]/[map_array], [Pool.map]).
+
+    Sound-but-conservative over the constructs it models: captured
+    refs/Hashtbls/Buffers/Queues/Stacks and mutations of captured, global
+    or unprovably-local values are errors; [Exec.Memo] and [Obs] access is
+    whitelisted; [Atomic.t] is exempt.  See DESIGN.md ("Why the purity
+    pass is sound but conservative"). *)
+
+val target_functions : string list
+(** Normalized names of the parallel entry points the pass guards. *)
+
+val check : source:string -> Typedtree.structure -> Check.Diagnostic.t list
+(** All LNT001 findings in one compilation unit; [source] is the path used
+    in diagnostic locations. *)

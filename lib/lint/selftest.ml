@@ -1,0 +1,148 @@
+(* The linter's own test, mirroring `subscale check --selftest` /
+   `audit --selftest`: one crafted source per rule that must fire exactly
+   that rule, one near-miss per rule that must come back clean, plus the
+   rule-registry collision checks.
+
+   Crafted sources are compiled at runtime with `ocamlc -bin-annot` into a
+   temp directory — the same artifact path the real lint takes, so the
+   selftest exercises cmt reading, not a shortcut. *)
+
+module D = Check.Diagnostic
+
+type result = { name : string; ok : bool; detail : string }
+
+(* (name, expected-rule, must-fire, source) — near-misses expect *no*
+   diagnostics at all, firing cases expect only their own rule. *)
+let cases =
+  [ ( "LNT001 closure mutates captured ref",
+      Lint_rules.lnt001,
+      true,
+      "module Exec = struct let map f xs = List.map f xs end\n\
+       let total xs =\n\
+      \  let acc = ref 0.0 in\n\
+      \  let _ = Exec.map (fun x -> acc := !acc +. x; x) xs in\n\
+      \  !acc\n" );
+    ( "LNT001 closure captures Hashtbl via Pool.map",
+      Lint_rules.lnt001,
+      true,
+      "module Pool = struct let map _pool f xs = List.map f xs end\n\
+       let tally pool tbl xs = Pool.map pool (fun x -> Hashtbl.add tbl x x; x) xs\n" );
+    ( "LNT001 near miss: immutable capture, closure-local ref",
+      Lint_rules.lnt001,
+      false,
+      "module Exec = struct let map f xs = List.map f xs end\n\
+       let scaled scale xs =\n\
+      \  Exec.map (fun x -> let acc = ref (x *. scale) in acc := !acc +. 1.0; !acc) xs\n" );
+    ( "LNT002 polymorphic = on floats",
+      Lint_rules.lnt002,
+      true,
+      "let approx (a : float) (b : float) = a = b\n" );
+    ( "LNT002 near miss: Float.equal and int =",
+      Lint_rules.lnt002,
+      false,
+      "let approx (a : float) (b : float) = Float.equal a b\n\
+       let same (a : int) (b : int) = a = b\n" );
+    ( "LNT003 catch-all try swallows exceptions",
+      Lint_rules.lnt003,
+      true,
+      "let safe f = try f () with _ -> 0\n" );
+    ( "LNT003 near miss: named exception / re-raise",
+      Lint_rules.lnt003,
+      false,
+      "let safe f = try f () with Not_found -> 0\n\
+       let cleanup f = try f () with e -> ignore (f ()); raise e\n" );
+    ( "LNT004 literal rule id bypasses the registry",
+      Lint_rules.lnt004,
+      true,
+      "module Diagnostic = struct let error ~rule ~location m = (rule, location, m) end\n\
+       let d = Diagnostic.error ~rule:\"XXX999\" ~location:\"here\" \"boom\"\n" );
+    ( "LNT004 near miss: rule id via identifier",
+      Lint_rules.lnt004,
+      false,
+      "module Diagnostic = struct let error ~rule ~location m = (rule, location, m) end\n\
+       let registered = \"XXX999\"\n\
+       let d = Diagnostic.error ~rule:registered ~location:\"here\" \"boom\"\n" );
+    ( "LNT005 direct print_endline in library code",
+      Lint_rules.lnt005,
+      true,
+      "let shout () = print_endline \"hello\"\n" );
+    ( "LNT005 near miss: buffer + sprintf",
+      Lint_rules.lnt005,
+      false,
+      "let shout buf = Buffer.add_string buf (Printf.sprintf \"%d\" 42)\n" ) ]
+
+let make_temp_dir () =
+  let path = Filename.temp_file "subscale_lint_selftest" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Compile one crafted source and lint its .cmt; [Error] carries a
+   human-readable reason (compiler missing, unexpected diagnostics...). *)
+let lint_snippet ~dir ~index source =
+  let base = Printf.sprintf "selftest_case_%d" index in
+  let ml = Filename.concat dir (base ^ ".ml") in
+  write_file ml source;
+  let cmd =
+    Filename.quote_command "ocamlc" [ "-bin-annot"; "-w"; "-a"; "-c"; ml; "-I"; dir ]
+  in
+  if Sys.command cmd <> 0 then Error ("compilation failed: " ^ cmd)
+  else
+    match Cmt_load.load (Filename.concat dir (base ^ ".cmt")) with
+    | Cmt_load.Unit u ->
+      Ok
+        (Purity.check ~source:u.Cmt_load.source u.Cmt_load.structure
+         @ Hygiene.check ~source:u.Cmt_load.source ~exempt_output:false
+             u.Cmt_load.structure
+         @ Discipline.check ~source:u.Cmt_load.source u.Cmt_load.structure)
+    | Cmt_load.Skipped -> Error "crafted cmt skipped"
+    | Cmt_load.Unreadable (_, msg) -> Error ("crafted cmt unreadable: " ^ msg)
+
+let registry_results () =
+  let collision_free =
+    match Check.Rules.selftest () with
+    | n -> { name = "rule-id registry"; ok = true; detail = Printf.sprintf "%d unique rule id(s)" n }
+    | exception ((Check.Rules.Duplicate_rule _ | Failure _) as e) ->
+      { name = "rule-id registry"; ok = false; detail = Printexc.to_string e }
+  in
+  let duplicate_rejected =
+    match Check.Rules.register ~summary:"deliberate collision" Lint_rules.lnt001 with
+    | (_ : string) ->
+      { name = "duplicate LNT id rejected"; ok = false;
+        detail = "re-registration of LNT001 was accepted" }
+    | exception Check.Rules.Duplicate_rule _ ->
+      { name = "duplicate LNT id rejected"; ok = true; detail = "Duplicate_rule" }
+  in
+  [ collision_free; duplicate_rejected ]
+
+let run () =
+  let dir = make_temp_dir () in
+  let case_results =
+    List.mapi
+      (fun index (name, rule, must_fire, source) ->
+        match lint_snippet ~dir ~index source with
+        | Error detail -> { name; ok = false; detail }
+        | Ok diags ->
+          let fired = List.exists (fun d -> d.D.rule = rule) diags in
+          let isolated = List.for_all (fun d -> d.D.rule = rule) diags in
+          if must_fire then
+            if fired && isolated then { name; ok = true; detail = rule }
+            else
+              { name; ok = false;
+                detail =
+                  Printf.sprintf "expected only %s, got [%s]" rule
+                    (String.concat "; " (List.map D.to_string diags)) }
+          else if diags = [] then { name; ok = true; detail = "clean" }
+          else
+            { name; ok = false;
+              detail =
+                Printf.sprintf "expected clean, got [%s]"
+                  (String.concat "; " (List.map D.to_string diags)) })
+      cases
+  in
+  registry_results () @ case_results

@@ -1,0 +1,8 @@
+(** The linter's own test: crafted sources compiled at runtime (ocamlc
+    -bin-annot into a temp dir) must each fire exactly their LNT rule, the
+    near-misses must stay clean, and the rule registry must be
+    collision-free. *)
+
+type result = { name : string; ok : bool; detail : string }
+
+val run : unit -> result list

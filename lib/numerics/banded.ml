@@ -32,7 +32,7 @@ let mat_vec a x =
   let y = Array.make a.n 0.0 in
   for j = 0 to a.n - 1 do
     let xj = x.(j) in
-    if xj <> 0.0 then
+    if not (Float.equal xj 0.0) then
       for d = 0 to a.kl + a.ku do
         let i = j + d - a.ku in
         if i >= 0 && i < a.n then y.(i) <- y.(i) +. (a.band.(d).(j) *. xj)
@@ -63,7 +63,7 @@ let solve_in_place a b =
     let jmax = Int.min (k + ku) (n - 1) in
     for i = k + 1 to imax do
       let f = get_ i k /. pivot in
-      if f <> 0.0 then begin
+      if not (Float.equal f 0.0) then begin
         set_ i k f;
         for j = k + 1 to jmax do
           set_ i j (get_ i j -. (f *. get_ k j))

@@ -77,11 +77,11 @@ let crossings xs ys level =
   let acc = ref [] in
   for i = 0 to n - 2 do
     let d0 = ys.(i) -. level and d1 = ys.(i + 1) -. level in
-    if d0 = 0.0 then acc := xs.(i) :: !acc
+    if Float.equal d0 0.0 then acc := xs.(i) :: !acc
     else if d0 *. d1 < 0.0 then begin
       let t = d0 /. (d0 -. d1) in
       acc := (xs.(i) +. (t *. (xs.(i + 1) -. xs.(i)))) :: !acc
     end
   done;
-  if ys.(n - 1) = level then acc := xs.(n - 1) :: !acc;
+  if Float.equal ys.(n - 1) level then acc := xs.(n - 1) :: !acc;
   List.rev !acc

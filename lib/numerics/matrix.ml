@@ -32,7 +32,7 @@ let mat_mul a b =
   for i = 0 to n - 1 do
     for p = 0 to k - 1 do
       let aip = a.(i).(p) in
-      if aip <> 0.0 then
+      if not (Float.equal aip 0.0) then
         for j = 0 to m - 1 do
           c.(i).(j) <- c.(i).(j) +. (aip *. b.(p).(j))
         done
@@ -78,7 +78,7 @@ let lu_factor a =
     for i = k + 1 to n - 1 do
       let f = lu.(i).(k) /. pivot in
       lu.(i).(k) <- f;
-      if f <> 0.0 then
+      if not (Float.equal f 0.0) then
         for j = k + 1 to n - 1 do
           lu.(i).(j) <- lu.(i).(j) -. (f *. lu.(k).(j))
         done

@@ -38,7 +38,7 @@ let brent ?(tol = 1e-10) ?(max_iter = 200) f a b =
   let d = ref 0.0 and e = ref 0.0 in
   let result = ref None in
   let iter = ref 0 in
-  while !result = None && !iter < max_iter do
+  while Option.is_none !result && !iter < max_iter do
     incr iter;
     let xm = 0.5 *. (!a +. !b) in
     let tol1 = (tol *. Float.abs !x) +. zeps in
@@ -87,13 +87,13 @@ let brent ?(tol = 1e-10) ?(max_iter = 200) f a b =
       end
       else begin
         if u < !x then a := u else b := u;
-        if fu <= !fw || !w = !x then begin
+        if fu <= !fw || Float.equal !w !x then begin
           v := !w;
           w := u;
           fv := !fw;
           fw := fu
         end
-        else if fu <= !fv || !v = !x || !v = !w then begin
+        else if fu <= !fv || Float.equal !v !x || Float.equal !v !w then begin
           v := u;
           fv := fu
         end

@@ -40,8 +40,8 @@ let exhausted ~method_ ~on_fail ~a ~b ~best ~residual ~iterations =
 
 let bisect ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else begin
     if fa *. fb > 0.0 then invalid_arg "Root.bisect: no sign change on [a, b]";
     (* The tolerance test comes before the budget test so that converging
@@ -54,7 +54,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
         exhausted ~method_:"bisect" ~on_fail ~a ~b ~best:m ~residual:(f m) ~iterations:iter
       else
         let fm = f m in
-        if fm = 0.0 then m
+        if Float.equal fm 0.0 then m
         else if fa *. fm < 0.0 then loop a m fa (iter + 1)
         else loop m b fm (iter + 1)
     in
@@ -64,8 +64,8 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
 (* Brent (1973), as in Numerical Recipes zbrent. *)
 let brent ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
   let fa = f a and fb = f b in
-  if fa = 0.0 then a
-  else if fb = 0.0 then b
+  if Float.equal fa 0.0 then a
+  else if Float.equal fb 0.0 then b
   else begin
     if fa *. fb > 0.0 then invalid_arg "Root.brent: no sign change on [a, b]";
     let a = ref a and b = ref b and c = ref a and fa = ref fa and fb = ref fb in
@@ -73,7 +73,7 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
     c := !a;
     let result = ref None in
     let iter = ref 0 in
-    while !result = None && !iter < max_iter do
+    while Option.is_none !result && !iter < max_iter do
       incr iter;
       if Float.abs !fc < Float.abs !fb then begin
         a := !b;
@@ -85,12 +85,12 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) ?(on_fail = `Raise) f a b =
       end;
       let tol1 = (2.0 *. epsilon_float *. Float.abs !b) +. (0.5 *. tol) in
       let xm = 0.5 *. (!c -. !b) in
-      if Float.abs xm <= tol1 || !fb = 0.0 then result := Some !b
+      if Float.abs xm <= tol1 || Float.equal !fb 0.0 then result := Some !b
       else begin
         if Float.abs !e >= tol1 && Float.abs !fa > Float.abs !fb then begin
           let s = !fb /. !fa in
           let p, q =
-            if !a = !c then
+            if Float.equal !a !c then
               let p = 2.0 *. xm *. s in
               (p, 1.0 -. s)
             else begin

@@ -29,7 +29,7 @@ let linear_regression xs ys =
     sxy := !sxy +. ((xs.(i) -. mx) *. (ys.(i) -. my));
     sxx := !sxx +. ((xs.(i) -. mx) ** 2.0)
   done;
-  if !sxx = 0.0 then invalid_arg "Stats.linear_regression: degenerate abscissae";
+  if Float.equal !sxx 0.0 then invalid_arg "Stats.linear_regression: degenerate abscissae";
   let slope = !sxy /. !sxx in
   (slope, my -. (slope *. mx))
 
@@ -45,7 +45,7 @@ let correlation xs ys =
     sxx := !sxx +. (dx *. dx);
     syy := !syy +. (dy *. dy)
   done;
-  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+  if Float.equal !sxx 0.0 || Float.equal !syy 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
 
 let geometric_mean_ratio ys =
   let n = Array.length ys in

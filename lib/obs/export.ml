@@ -128,7 +128,7 @@ let span_summary events =
     (Printf.sprintf "%-40s %8s %11s %11s %11s\n" "span" "count" "total" "mean" "max");
   let rows =
     Hashtbl.fold (fun (cat, name) (n, total, mx) acc -> (cat, name, !n, !total, !mx) :: acc) tbl []
-    |> List.sort (fun (_, _, _, ta, _) (_, _, _, tb, _) -> compare tb ta)
+    |> List.sort (fun (_, _, _, ta, _) (_, _, _, tb, _) -> Float.compare tb ta)
   in
   List.iter
     (fun (cat, name, n, total, mx) ->

@@ -5,7 +5,7 @@ let intrinsic_density t = 5.29e19 *. ((t /. 300.0) ** 2.54) *. exp (-6726.0 /. t
 
 let ni_room = intrinsic_density Constants.t_room
 
-let ni_at t = if t = Constants.t_room then ni_room else intrinsic_density t
+let ni_at t = if Float.equal t Constants.t_room then ni_room else intrinsic_density t
 
 let fermi_potential ?(t = Constants.t_room) n =
   if n <= 0.0 then invalid_arg "Silicon.fermi_potential: doping must be positive";

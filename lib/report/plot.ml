@@ -4,7 +4,7 @@ let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
 
 let render ?(width = 64) ?(height = 18) ?(x_label = "") ?(y_label = "") ~title series =
   let all_points = List.concat_map (fun s -> Array.to_list s.points) series in
-  if all_points = [] then invalid_arg "Plot.render: no points";
+  if List.is_empty all_points then invalid_arg "Plot.render: no points";
   let xs = List.map fst all_points and ys = List.map snd all_points in
   let fold f = function [] -> 0.0 | h :: t -> List.fold_left f h t in
   let x0 = fold Float.min xs and x1 = fold Float.max xs in

@@ -12,7 +12,7 @@ type waveform =
   | Pwl of (float * float) list
 
 let pwl points =
-  if points = [] then invalid_arg "Netlist.pwl: empty point list";
+  if List.is_empty points then invalid_arg "Netlist.pwl: empty point list";
   let rec check = function
     | (t0, _) :: ((t1, _) :: _ as rest) ->
       if t1 <= t0 then

@@ -22,7 +22,7 @@ let newton_at sys ~time ~caps ~x0 ~tol ~max_iter =
         for i = 0 to n - 1 do
           x.(i) <- x.(i) +. (scale *. dx.(i))
         done;
-        if maxd *. scale < tol && scale = 1.0 then Some x else loop (iter + 1)
+        if maxd *. scale < tol && Float.equal scale 1.0 then Some x else loop (iter + 1)
     end
   in
   loop 0

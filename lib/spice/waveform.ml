@@ -6,7 +6,7 @@ let crossings ~times ~values ~level edge =
   let acc = ref [] in
   for i = 0 to n - 2 do
     let d0 = values.(i) -. level and d1 = values.(i + 1) -. level in
-    if d0 *. d1 < 0.0 || (d0 = 0.0 && d1 <> 0.0) then begin
+    if d0 *. d1 < 0.0 || (Float.equal d0 0.0 && not (Float.equal d1 0.0)) then begin
       let direction_ok =
         match edge with
         | Rising -> d1 > d0

@@ -59,7 +59,7 @@ let analyze ?input_slew ?wire_cap ?output_load (lib : Cell_lib.library) design =
           let arc = cell.Cell_lib.arcs.(pin) in
           (* Negative unate: input fall -> output rise. *)
           let propagate (src : arrival) delay_lut slew_lut =
-            if src.time = neg_infinity then None
+            if Float.equal src.time neg_infinity then None
             else begin
               let d = Lut.eval delay_lut ~slew:src.slew ~load:load.(out) in
               let s = Lut.eval slew_lut ~slew:src.slew ~load:load.(out) in
@@ -95,7 +95,7 @@ let analyze ?input_slew ?wire_cap ?output_load (lib : Cell_lib.library) design =
       (-1, Rise, neg_infinity)
       (Design.primary_outputs design)
   in
-  if critical_output < 0 || critical_time = neg_infinity then
+  if critical_output < 0 || Float.equal critical_time neg_infinity then
     failwith "Engine.analyze: outputs unreachable from the primary inputs";
   (* Backtrace. *)
   let rec backtrace net edge acc =

@@ -100,7 +100,7 @@ let solve ?recombination dev ~carrier ~biases ~psi =
           let k' = k + off in
           if k' >= 0 && k' < n_nodes then begin
             let v = Numerics.Banded.get a k k' in
-            if v <> 0.0 then Numerics.Banded.set a k k' (v *. inv)
+            if not (Float.equal v 0.0) then Numerics.Banded.set a k k' (v *. inv)
           end
         done;
         rhs.(k) <- rhs.(k) *. inv

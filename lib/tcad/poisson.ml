@@ -120,8 +120,9 @@ let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
       { psi; iterations = iter; residual = scaled_res; converged = false }
     end
     else begin
-      if Sys.getenv_opt "TCAD_DEBUG" <> None then
-        Printf.eprintf "poisson iter %d: scaled_res %.3e\n%!" iter scaled_res;
+      Obs.Trace.instant ~cat:"tcad"
+        ~attrs:[ ("iteration", Obs.Trace.I iter); ("scaled_residual", Obs.Trace.F scaled_res) ]
+        "poisson.iter";
       let dpsi = Numerics.Banded.solve_in_place a rhs in
       for k = 0 to n - 1 do
         let d = Float.max (-.clamp) (Float.min clamp dpsi.(k)) in

@@ -1,0 +1,6 @@
+(* Fires LNT002 twice: polymorphic [=] and [compare] instantiated at
+   float — bit-equality on computed floats is almost never meant. *)
+
+let converged (residual : float) = residual = 0.0
+
+let rank (a : float) (b : float) = compare a b

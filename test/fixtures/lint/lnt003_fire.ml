@@ -1,0 +1,6 @@
+(* Fires LNT003 twice: both catch-all shapes swallow whatever was raised
+   (solver non-convergence included) without re-raising. *)
+
+let swallow_try f = try f () with _ -> 0
+
+let swallow_match f = match f () with v -> v | exception _ -> 0

@@ -1,0 +1,8 @@
+(* Fires LNT004: a literal rule id handed straight to Diagnostic.error
+   bypasses the Check.Rules registry (no collision check, no --rules row). *)
+
+module Diagnostic = struct
+  let error ~rule ~location msg = (rule, location, msg)
+end
+
+let bad_site () = Diagnostic.error ~rule:"ZZZ123" ~location:"somewhere" "boom"

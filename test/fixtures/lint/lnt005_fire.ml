@@ -1,0 +1,6 @@
+(* Fires LNT005 twice: direct console output from (non-exempt) library
+   code, to stdout via Printf and via the bare printer. *)
+
+let announce n =
+  Printf.printf "sweep %d done\n" n;
+  print_newline ()

@@ -1,0 +1,166 @@
+(* lib/lint: the fixture corpus (per LNT rule one firing source and one
+   near miss, compiled to .cmt by test/fixtures/lint/dune), baseline
+   round-trips, and the rule-registry integration. *)
+
+open Subscale
+module Diag = Check.Diagnostic
+module B = Lint.Baseline
+module LR = Lint.Rules
+
+let u = Test_util.case
+
+let fixture_dir = "fixtures/lint"
+
+let fixture base =
+  let path = Filename.concat fixture_dir (base ^ ".cmt") in
+  match Lint.lint_cmt path with
+  | Some r -> r.Lint.diags
+  | None -> Alcotest.failf "%s: no implementation typedtree" path
+
+let rule_set diags = List.sort_uniq String.compare (List.map (fun d -> d.Diag.rule) diags)
+
+(* A firing fixture must produce diagnostics for exactly its own rule —
+   isolation matters as much as detection (a fixture that also trips a
+   second rule would hide regressions in either). *)
+let fires base rule =
+  let diags = fixture base in
+  match rule_set diags with
+  | [] -> Alcotest.failf "%s: expected %s to fire, got no diagnostics" base rule
+  | [ r ] when String.equal r rule -> diags
+  | rs -> Alcotest.failf "%s: expected only %s, got [%s]" base rule (String.concat "; " rs)
+
+let clean base =
+  match fixture base with
+  | [] -> ()
+  | diags ->
+    Alcotest.failf "%s: expected clean, got [%s]" base
+      (String.concat "; " (List.map Diag.to_string diags))
+
+let corpus_tests =
+  [
+    u "LNT001 fires on Exec.map closure mutating captured state" (fun () ->
+        let diags = fires "lnt001_fire" LR.lnt001 in
+        if List.length diags < 2 then
+          Alcotest.failf "expected both the ref and the array mutation, got %d finding(s)"
+            (List.length diags);
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Error then
+              Alcotest.failf "LNT001 must be an error, got: %s" (Diag.to_string d))
+          diags);
+    u "LNT001 accepts immutable captures, closure-local refs, Memo" (fun () ->
+        clean "lnt001_clean");
+    u "LNT002 fires on polymorphic =/compare at float" (fun () ->
+        let diags = fires "lnt002_fire" LR.lnt002 in
+        if List.length diags <> 2 then
+          Alcotest.failf "expected the = and the compare site, got %d finding(s)"
+            (List.length diags));
+    u "LNT002 accepts Float.equal/Float.compare and non-float poly ops" (fun () ->
+        clean "lnt002_clean");
+    u "LNT003 fires on both catch-all shapes" (fun () ->
+        let diags = fires "lnt003_fire" LR.lnt003 in
+        if List.length diags <> 2 then
+          Alcotest.failf "expected the try and the match-exception site, got %d finding(s)"
+            (List.length diags));
+    u "LNT003 accepts named handlers and re-raising catch-alls" (fun () ->
+        clean "lnt003_clean");
+    u "LNT004 fires on a literal rule id at a Diagnostic call site" (fun () ->
+        ignore (fires "lnt004_fire" LR.lnt004));
+    u "LNT004 accepts rule ids flowing through identifiers" (fun () ->
+        clean "lnt004_clean");
+    u "LNT005 fires on direct printing from library code" (fun () ->
+        let diags = fires "lnt005_fire" LR.lnt005 in
+        if List.length diags <> 2 then
+          Alcotest.failf "expected the Printf.printf and the print_newline site, got %d"
+            (List.length diags));
+    u "LNT005 accepts Buffer/sprintf formatting" (fun () -> clean "lnt005_clean");
+    u "lint_root scans the corpus in sorted order" (fun () ->
+        let reports = Lint.lint_root fixture_dir in
+        let sources = List.map (fun r -> r.Lint.source) reports in
+        if List.length sources < 10 then
+          Alcotest.failf "expected >= 10 fixture units, got %d" (List.length sources);
+        if sources <> List.sort String.compare sources then
+          Alcotest.fail "lint_root reports are not sorted by source");
+  ]
+
+(* --- baseline ---------------------------------------------------------- *)
+
+let entry rule file line note = { B.rule; file; line; note }
+
+let baseline_tests =
+  [
+    u "baseline round-trips through to_string/of_string" (fun () ->
+        let entries =
+          [
+            entry "LNT003" "lib/exec/pool.ml" 165 "exception parity";
+            entry "LNT005" "lib/check/check.ml" 43 "CI tripwire output";
+          ]
+        in
+        let reparsed = B.of_string (B.to_string entries) in
+        if reparsed <> entries then
+          Alcotest.failf "round trip changed the baseline:\n%s" (B.to_string reparsed));
+    u "baseline matching suppresses by line, ignores column" (fun () ->
+        let d rule location = Diag.warning ~rule ~location "x" in
+        let b = [ entry "LNT003" "lib/a.ml" 10 "keep" ] in
+        let { B.kept; suppressed; stale } =
+          B.apply b [ d "LNT003" "lib/a.ml:10:7"; d "LNT003" "lib/a.ml:11:0" ]
+        in
+        Alcotest.(check int) "suppressed" 1 (List.length suppressed);
+        Alcotest.(check int) "kept" 1 (List.length kept);
+        Alcotest.(check int) "stale" 0 (List.length stale));
+    u "unmatched baseline entries come back stale" (fun () ->
+        let b = [ entry "LNT002" "lib/gone.ml" 3 "obsolete" ] in
+        let { B.kept; suppressed; stale } = B.apply b [] in
+        Alcotest.(check int) "kept" 0 (List.length kept);
+        Alcotest.(check int) "suppressed" 0 (List.length suppressed);
+        (match stale with
+        | [ e ] when e.B.file = "lib/gone.ml" -> ()
+        | _ -> Alcotest.fail "expected exactly the one stale entry"));
+    u "malformed baseline lines raise with their line number" (fun () ->
+        match B.of_string "# header\nnot a baseline line\n" with
+        | exception B.Malformed (2, _) -> ()
+        | exception B.Malformed (n, _) ->
+          Alcotest.failf "malformed reported at line %d, expected 2" n
+        | _ -> Alcotest.fail "of_string accepted a malformed line");
+    u "entry_of_diag parses file:line:col locations" (fun () ->
+        let d = Diag.warning ~rule:"LNT002" ~location:"lib/foo.ml:12:5" "x" in
+        match B.entry_of_diag ~note:"why" d with
+        | Some e ->
+          Alcotest.(check string) "file" "lib/foo.ml" e.B.file;
+          Alcotest.(check int) "line" 12 e.B.line
+        | None -> Alcotest.fail "entry_of_diag rejected a well-formed location");
+  ]
+
+(* --- registry ---------------------------------------------------------- *)
+
+let registry_tests =
+  [
+    u "every LNT rule is registered with the expected severity" (fun () ->
+        List.iter
+          (fun (id, sev) ->
+            match LR.find id with
+            | Some m when m.LR.severity = sev -> ()
+            | Some _ -> Alcotest.failf "%s registered with the wrong severity" id
+            | None -> Alcotest.failf "%s missing from the rule table" id)
+          [
+            (LR.lnt001, Diag.Error);
+            (LR.lnt002, Diag.Warning);
+            (LR.lnt003, Diag.Warning);
+            (LR.lnt004, Diag.Error);
+            (LR.lnt005, Diag.Warning);
+          ]);
+    u "--rules markdown names every rule id" (fun () ->
+        let md = Lint.rules_markdown () in
+        let contains sub =
+          let n = String.length md and m = String.length sub in
+          let rec at i = i + m <= n && (String.sub md i m = sub || at (i + 1)) in
+          at 0
+        in
+        List.iter
+          (fun m ->
+            if not (contains m.LR.id) then
+              Alcotest.failf "--rules output is missing %s" m.LR.id)
+          LR.all);
+  ]
+
+let suite = [ ("lint", corpus_tests @ baseline_tests @ registry_tests) ]
