@@ -147,6 +147,54 @@ let kernel_tests () =
           fun () -> Subscale.Sta.Power.analyze lib d ~frequency:1e5));
   ]
 
+(* The TCAD hot path, benched stage by stage: Poisson half-step, Gummel
+   outer loop (equilibrium and a biased solve), Extract post-processing.
+   These are the rows BENCH_tcad.json records — ROADMAP item 1 wants the
+   trajectory of exactly this chain, so the names are stable. *)
+let tcad_chain_tests () =
+  let phys = List.hd Subscale.Device.Params.paper_table2 in
+  let nfet = (Subscale.Circuits.Inverter.pair_of_physical phys).Subscale.Circuits.Inverter.nfet in
+  let dev =
+    Subscale.Tcad.Structure.build (Subscale.Device.Compact.to_tcad_description nfet)
+  in
+  let eq = Subscale.Exec.Memo.disabled (fun () -> Subscale.Tcad.Gummel.equilibrium dev) in
+  let on_bias =
+    { Subscale.Tcad.Poisson.source = 0.0; drain = 0.05; gate = 0.3; substrate = 0.0 }
+  in
+  (* Default 19-point resolution: the slope/vth extractors need several
+     points inside their decade window, which 7 points can't guarantee. *)
+  let sweep =
+    Subscale.Exec.Memo.disabled (fun () -> Subscale.Tcad.Extract.id_vg dev ~vd:0.05)
+  in
+  [
+    Test.make ~name:"tcad/poisson-zero-bias"
+      (Staged.stage (fun () ->
+           Subscale.Tcad.Poisson.solve dev ~biases:Subscale.Tcad.Poisson.zero_bias
+             ~phi_n:eq.Subscale.Tcad.Gummel.phi_n ~phi_p:eq.Subscale.Tcad.Gummel.phi_p
+             ~psi0:(Subscale.Tcad.Poisson.equilibrium_guess dev)));
+    Test.make ~name:"tcad/gummel-equilibrium"
+      (Staged.stage (fun () ->
+           Subscale.Exec.Memo.disabled (fun () -> Subscale.Tcad.Gummel.equilibrium dev)));
+    Test.make ~name:"tcad/gummel-bias-point"
+      (Staged.stage (fun () ->
+           Subscale.Exec.Memo.disabled (fun () ->
+               Subscale.Tcad.Gummel.solve_at dev ~from:eq on_bias)));
+    Test.make ~name:"tcad/extract-idvg-7pt"
+      (Staged.stage (fun () ->
+           Subscale.Exec.Memo.disabled (fun () ->
+               Subscale.Tcad.Extract.id_vg ~points:7 dev ~vd:0.05)));
+    Test.make ~name:"tcad/extract-slope-vth"
+      (Staged.stage (fun () ->
+           ( Subscale.Tcad.Extract.subthreshold_slope sweep,
+             Subscale.Tcad.Extract.threshold_voltage sweep )));
+    Test.make ~name:"tcad/extract-characterize-memo"
+      (Staged.stage
+         (* Warm the cache first so this times a memo hit; the miss cost is
+            what tcad/extract-idvg-7pt and friends already measure. *)
+         (let _warm = Subscale.Tcad.Extract.characterize_cached dev in
+          fun () -> Subscale.Tcad.Extract.characterize_cached dev));
+  ]
+
 (* Ablation benches: the design-choice comparisons DESIGN.md calls out. *)
 let ablation_tests () =
   let phys = List.hd Subscale.Device.Params.paper_table2 in
@@ -176,6 +224,8 @@ let print_memo_stats () =
         s.Subscale.Exec.Memo.hits s.Subscale.Exec.Memo.misses s.Subscale.Exec.Memo.size)
     (Subscale.Exec.Memo.stats ())
 
+(* Runs every test, prints the human table, and returns [(name, ns)] so a
+   caller can persist a machine-readable trajectory (BENCH_tcad.json). *)
 let run_benchmarks ~quota tests =
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~kde:None () in
   let ols =
@@ -184,9 +234,9 @@ let run_benchmarks ~quota tests =
   print_endline "==============================================================";
   print_endline " Bechamel timings (monotonic clock, OLS time per run)";
   print_endline "==============================================================";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg [ Instance.monotonic_clock ] elt in
           let est = Analyze.one ols Instance.monotonic_clock raw in
@@ -199,30 +249,94 @@ let run_benchmarks ~quota tests =
           if ns < 1e3 then Printf.printf "%-28s %10.1f ns/run\n%!" name ns
           else if ns < 1e6 then Printf.printf "%-28s %10.2f us/run\n%!" name (ns /. 1e3)
           else if ns < 1e9 then Printf.printf "%-28s %10.2f ms/run\n%!" name (ns /. 1e6)
-          else Printf.printf "%-28s %10.2f s/run\n%!" name (ns /. 1e9))
+          else Printf.printf "%-28s %10.2f s/run\n%!" name (ns /. 1e9);
+          (name, ns))
         (Test.elements test))
     tests
+
+(* BENCH_tcad.json: the recorded perf trajectory for the Poisson/Gummel/
+   Extract chain plus memo-table hit/miss counts.  Hand-rolled JSON — the
+   schema is flat on purpose so diffs between trajectories read directly. *)
+let write_bench_json path ~quota results =
+  let buf = Buffer.create 1024 in
+  let escape s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let number ns =
+    if Float.is_finite ns then Printf.sprintf "%.3f" ns else "null"
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"subscale-bench/1\",\n";
+  Buffer.add_string buf "  \"suite\": \"tcad\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quota_s\": %.3f,\n" quota);
+  Buffer.add_string buf "  \"results\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %s }%s\n"
+           (escape name) (number ns)
+           (if i = List.length results - 1 then "" else ",")))
+    results;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"memo\": [\n";
+  let memo = Subscale.Exec.Memo.stats () in
+  List.iteri
+    (fun i (s : Subscale.Exec.Memo.stats) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"hits\": %d, \"misses\": %d, \"size\": %d }%s\n"
+           (escape s.Subscale.Exec.Memo.name) s.Subscale.Exec.Memo.hits
+           s.Subscale.Exec.Memo.misses s.Subscale.Exec.Memo.size
+           (if i = List.length memo - 1 then "" else ",")))
+    memo;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nwrote %s (%d result(s), %d memo table(s))\n" path
+    (List.length results) (List.length memo)
 
 let () =
   let smoke = ref false in
   let jobs = ref None in
+  let bench_json = ref "BENCH_tcad.json" in
   Arg.parse
     [ ("--smoke", Arg.Set smoke, " fast CI subset: kernel benches only, short quota");
       ("--jobs", Arg.Int (fun n -> jobs := Some n), "N domain-pool width");
+      ("--bench-json", Arg.Set_string bench_json,
+       "FILE where to write the TCAD-chain trajectory (default BENCH_tcad.json; \
+        empty string to skip)");
       ("--trace", Arg.String Subscale.Obs.set_trace_file,
        "FILE write a Chrome trace_event JSON of the run (SUBSCALE_TRACE=FILE equivalent)");
       ("--profile", Arg.Unit Subscale.Obs.enable_profile,
        " print a span summary and the metrics registry to stderr at exit") ]
     (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "bench [--smoke] [--jobs N] [--trace FILE] [--profile]";
+    "bench [--smoke] [--jobs N] [--bench-json FILE] [--trace FILE] [--profile]";
   Subscale.Obs.init_from_env ();
   Option.iter Subscale.Exec.set_jobs !jobs;
   let t0 = Unix.gettimeofday () in
-  if !smoke then run_benchmarks ~quota:0.05 (kernel_tests () @ ablation_tests ())
-  else begin
-    let ctx = Subscale.Experiments.make_context ~with_130:true () in
-    print_reproduction ctx;
-    run_benchmarks ~quota:0.4 (experiment_tests ctx @ kernel_tests () @ ablation_tests ())
-  end;
+  let quota = if !smoke then 0.05 else 0.4 in
+  let tcad_results =
+    if !smoke then
+      run_benchmarks ~quota (tcad_chain_tests () @ kernel_tests () @ ablation_tests ())
+    else begin
+      let ctx = Subscale.Experiments.make_context ~with_130:true () in
+      print_reproduction ctx;
+      run_benchmarks ~quota
+        (tcad_chain_tests () @ experiment_tests ctx @ kernel_tests ()
+        @ ablation_tests ())
+    end
+  in
   print_memo_stats ();
+  if !bench_json <> "" then
+    write_bench_json !bench_json ~quota
+      (List.filter
+         (fun (name, _) ->
+           String.length name >= 5 && String.sub name 0 5 = "tcad/")
+         tcad_results);
   Printf.printf "\ntotal bench wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

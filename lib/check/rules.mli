@@ -23,5 +23,6 @@ val all : unit -> entry list
 (** Every registered rule, in registration order. *)
 
 val selftest : unit -> int
-(** Re-validate the registry (uniqueness, id shape: kebab-case, [AUDnnn]
-    or [LNTnnn]); returns the rule count.  Raises on any violation. *)
+(** Re-validate the registry (uniqueness, id shape: kebab-case, [AUDnnn],
+    [LNTnnn] or [UNTnnn]); returns the rule count.  Raises on any
+    violation. *)

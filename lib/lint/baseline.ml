@@ -62,6 +62,15 @@ let header =
    #   <rule> <file>:<line> — justification\n\
    # Matching ignores the column; stale entries fail `subscale lint --strict`.\n"
 
+(* [--update-baseline] stamps unjustified entries with a "— TODO: justify"
+   note; [--strict] refuses to treat those as justified keeps, so a
+   regenerated baseline cannot silently launder findings. *)
+let is_todo e =
+  let has_prefix p = String.length e.note >= String.length p && String.sub e.note 0 (String.length p) = p in
+  has_prefix "TODO" || has_prefix "— TODO" || has_prefix "- TODO"
+
+let todos t = List.filter is_todo t
+
 let entry_to_string e =
   Printf.sprintf "%s %s:%d%s" e.rule e.file e.line
     (if e.note = "" then "" else " " ^ e.note)

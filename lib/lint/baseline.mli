@@ -14,6 +14,12 @@ val of_string : string -> t
 val load : string -> t
 (** [load path] is [[]] when the file does not exist. *)
 
+val is_todo : entry -> bool
+(** Does the entry's note start with a TODO marker ("— TODO ...", as
+    written by [--update-baseline])?  [--strict] rejects such entries. *)
+
+val todos : t -> t
+
 val entry_to_string : entry -> string
 val to_string : t -> string
 (** Render with the standard header (the [--update-baseline] output). *)

@@ -40,21 +40,54 @@ let rec scan_dir acc dir =
         else acc)
       acc entries
 
-(* Every .cmt under [root], loaded, deduplicated by source file and sorted
-   by source path so reports are stable whatever the directory order. *)
+(* A multi-context _build (dune's `(context ...)` stanzas) holds one .cmt
+   per context for the same source; linting all of them would duplicate
+   every diagnostic.  Rank candidate paths so the `default` context wins,
+   then break ties lexicographically — the choice is deterministic, not
+   directory-order luck. *)
+let context_rank path =
+  if List.mem "default" (String.split_on_char '/' path) then 0 else 1
+
+let better_path a b =
+  let r = compare (context_rank a) (context_rank b) in
+  if r <> 0 then r < 0 else String.compare a b < 0
+
+(* The same artifact seen through two contexts has two paths that differ
+   only in the segment after _build; key unreadable reports on the
+   context-free remainder so one broken .cmt is reported once. *)
+let context_free_key path =
+  let rec strip = function
+    | [] -> []
+    | "_build" :: _ctx :: rest -> "_build" :: strip rest
+    | seg :: rest -> seg :: strip rest
+  in
+  String.concat "/" (strip (String.split_on_char '/' path))
+
+(* Every .cmt under [root], loaded, deduplicated by source file (preferring
+   the default context) and sorted by source path so reports are stable
+   whatever the directory order. *)
 let load_root root =
   let cmts = List.rev (scan_dir [] root) in
-  let seen = Hashtbl.create 64 in
-  let units, unreadable =
-    List.fold_left
-      (fun (units, bad) path ->
-        match load path with
-        | Unit u ->
-          if Hashtbl.mem seen u.source then (units, bad)
-          else (Hashtbl.add seen u.source (); (u :: units, bad))
-        | Skipped -> (units, bad)
-        | Unreadable (p, msg) -> (units, (p, msg) :: bad))
-      ([], []) cmts
-  in
+  let chosen : (string, unit_info) Hashtbl.t = Hashtbl.create 64 in
+  let unreadable : (string, string * string) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun path ->
+      match load path with
+      | Unit u ->
+        (match Hashtbl.find_opt chosen u.source with
+         | None -> Hashtbl.add chosen u.source u
+         | Some prev ->
+           if better_path u.cmt_path prev.cmt_path then
+             Hashtbl.replace chosen u.source u)
+      | Skipped -> ()
+      | Unreadable (p, msg) ->
+        let key = context_free_key p in
+        (match Hashtbl.find_opt unreadable key with
+         | None -> Hashtbl.add unreadable key (p, msg)
+         | Some (prev_p, _) ->
+           if better_path p prev_p then Hashtbl.replace unreadable key (p, msg)))
+    cmts;
+  let units = Hashtbl.fold (fun _ u acc -> u :: acc) chosen [] in
+  let bad = Hashtbl.fold (fun _ pm acc -> pm :: acc) unreadable [] in
   ( List.sort (fun a b -> String.compare a.source b.source) units,
-    List.rev unreadable )
+    List.sort (fun (a, _) (b, _) -> String.compare a b) bad )

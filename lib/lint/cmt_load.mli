@@ -15,4 +15,8 @@ val load : string -> load_result
 
 val load_root : string -> unit_info list * (string * string) list
 (** All implementation units under a directory tree, deduplicated by source
-    file and sorted by source path, plus any unreadable artifacts. *)
+    file and sorted by source path, plus any unreadable artifacts (also
+    deduplicated, by context-free path).  When the same source appears
+    under several dune contexts, the [default] context's artifact wins;
+    ties break on the lexicographically first path, so a multi-context
+    [_build] never yields duplicate diagnostics for one line. *)

@@ -8,7 +8,10 @@
       must not capture or mutate unsanctioned mutable state;
     - {!Hygiene} — LNT002 float discipline, LNT003 exception hygiene,
       LNT005 output hygiene;
-    - {!Discipline} — LNT004: rule ids minted via [Check.Rules] only.
+    - {!Discipline} — LNT004: rule ids minted via [Check.Rules] only;
+    - {!Units} — UNT001-005: static dimensional analysis over the Eq. 1-8
+      model chain, seeded from the {!Unit_sig} tables (on by default,
+      disable with [~units:false] / [--no-units]).
 
     Findings are {!Check.Diagnostic}s, so reports and exit codes behave
     exactly like [subscale check]/[audit]; deliberate keeps live in the
@@ -19,6 +22,9 @@ module Baseline = Baseline
 module Purity = Purity
 module Hygiene = Hygiene
 module Discipline = Discipline
+module Dimension = Dimension
+module Unit_sig = Unit_sig
+module Units = Units
 module Cmt_load = Cmt_load
 module Selftest = Selftest
 
@@ -37,18 +43,19 @@ let starts_with ~prefix s =
 let exempt_output source =
   List.exists (fun prefix -> starts_with ~prefix source) output_exempt_dirs
 
-let lint_unit (u : Cmt_load.unit_info) : file_report =
+let lint_unit ?(units = true) (u : Cmt_load.unit_info) : file_report =
   let source = u.Cmt_load.source in
   let diags =
     Purity.check ~source u.Cmt_load.structure
     @ Hygiene.check ~source ~exempt_output:(exempt_output source) u.Cmt_load.structure
     @ Discipline.check ~source u.Cmt_load.structure
+    @ (if units then Units.check ~source u.Cmt_load.structure else [])
   in
   { source; diags = D.sort diags }
 
-let lint_cmt path =
+let lint_cmt ?units path =
   match Cmt_load.load path with
-  | Cmt_load.Unit u -> Some (lint_unit u)
+  | Cmt_load.Unit u -> Some (lint_unit ?units u)
   | Cmt_load.Skipped -> None
   | Cmt_load.Unreadable (p, msg) ->
     Some
@@ -58,9 +65,9 @@ let lint_cmt path =
               (Printf.sprintf "unreadable .cmt artifact: %s" msg)
               ~hint:"stale build? re-run `dune build` and lint again" ] }
 
-let lint_root root =
+let lint_root ?units:(units_on = true) root =
   let units, unreadable = Cmt_load.load_root root in
-  let reports = List.map lint_unit units in
+  let reports = List.map (lint_unit ~units:units_on) units in
   let unreadable_reports =
     List.map
       (fun (p, msg) ->

@@ -1,14 +1,17 @@
 (** Lint: typedtree-based source linter behind [subscale lint].
 
     Reads the .cmt artifacts dune already produces; never re-typechecks.
-    Findings are {!Check.Diagnostic}s with rule ids LNT001–LNT005 minted
-    through {!Check.Rules}. *)
+    Findings are {!Check.Diagnostic}s with rule ids LNT001–LNT005 and
+    UNT001–UNT005 minted through {!Check.Rules}. *)
 
 module Rules = Lint_rules
 module Baseline = Baseline
 module Purity = Purity
 module Hygiene = Hygiene
 module Discipline = Discipline
+module Dimension = Dimension
+module Unit_sig = Unit_sig
+module Units = Units
 module Cmt_load = Cmt_load
 module Selftest = Selftest
 
@@ -18,15 +21,16 @@ val exempt_output : string -> bool
 (** True for the sanctioned output layers (lib/report, lib/obs), where
     LNT005 does not apply. *)
 
-val lint_unit : Cmt_load.unit_info -> file_report
-(** Run every pass over one loaded unit; diagnostics come back sorted. *)
+val lint_unit : ?units:bool -> Cmt_load.unit_info -> file_report
+(** Run every pass over one loaded unit; diagnostics come back sorted.
+    [units] (default true) enables the UNT dimensional-analysis pass. *)
 
-val lint_cmt : string -> file_report option
+val lint_cmt : ?units:bool -> string -> file_report option
 (** Lint one .cmt file.  [None] when the artifact holds no implementation
     typedtree (interfaces, packed or generated modules); unreadable
     artifacts yield a [lint-unreadable-cmt] warning report. *)
 
-val lint_root : string -> file_report list
+val lint_root : ?units:bool -> string -> file_report list
 (** Lint every .cmt under a directory tree (sorted by source path). *)
 
 val all_diags : file_report list -> Check.Diagnostic.t list

@@ -33,6 +33,28 @@ let lnt005 =
   Rules.register "LNT005"
     ~summary:"direct stdout/stderr printing in lib/ (route through lib/report or lib/obs)"
 
+(* The UNT series: static dimensional analysis over float expressions
+   (lib/lint/units.ml).  Sound-but-conservative — unknown never fires. *)
+let unt001 =
+  Rules.register "UNT001"
+    ~summary:"additive/comparison combination of incompatible physical dimensions"
+
+let unt002 =
+  Rules.register "UNT002"
+    ~summary:"non-dimensionless argument to exp/log/log10/** (normalize first)"
+
+let unt003 =
+  Rules.register "UNT003"
+    ~summary:"display-unit value (nm, cm^-3, pA/um) combined with SI without a conversion"
+
+let unt004 =
+  Rules.register "UNT004"
+    ~summary:"seeded-signature function applied to an argument of the wrong dimension"
+
+let unt005 =
+  Rules.register "UNT005"
+    ~summary:"dimension lost through a polymorphic container round-trip (info)"
+
 (* Unreadable or truncated .cmt artifact: not a source defect, so it gets a
    kebab-case id outside the LNT series and only warns. *)
 let unreadable_cmt =
@@ -85,7 +107,60 @@ let all : meta list =
       stays_clean_on =
         "`lib/report` and `lib/obs` (the output layers themselves), formatting into \
          buffers/strings (`Printf.sprintf`, `Buffer`), and writing to an explicit \
-         caller-supplied channel" } ]
+         caller-supplied channel" };
+    { id = unt001;
+      severity = Diagnostic.Error;
+      title = "dimensional analysis: additive combination of incompatible dimensions";
+      fires_on =
+        "`+.`, `-.`, a float comparison, or `Float.min`/`max` whose operands carry \
+         provably different dimensions (a length added to a voltage, `A/m` compared \
+         against `V`), per the seeded signature tables";
+      stays_clean_on =
+        "operands of equal dimension, numeric literals (dimension-polymorphic), and \
+         anything the pass cannot infer (`unknown` never fires); `[@units \"...\"]` \
+         asserts a dimension for a deliberate cast" };
+    { id = unt002;
+      severity = Diagnostic.Error;
+      title = "dimensional analysis: transcendental of a dimensioned quantity";
+      fires_on =
+        "`exp`/`log`/`log10`/`expm1`/`log1p` applied to a value with a non-empty \
+         inferred dimension (e.g. a raw voltage: Eq. 1 requires `(Vgs - Vth)/(m vT)` \
+         first), or `**` with a non-integer literal exponent on a dimensioned base";
+      stays_clean_on =
+        "dimensionless arguments (voltage ratios, normalized currents), integer \
+         literal exponents (which scale the dimension), `sqrt` (exponents halve), and \
+         unknown-dimension arguments" };
+    { id = unt003;
+      severity = Diagnostic.Warning;
+      title = "dimensional analysis: display-unit and SI values mixed";
+      fires_on =
+        "combining a value tagged with a display unit (produced by `Constants.to_nm`, \
+         `to_per_cm3`, `to_pa_per_um`, or a `[@units \"nm\"]` assertion) with an \
+         SI-scaled value of the same dimension without converting back";
+      stays_clean_on =
+        "staying inside one unit system, and crossing only through the `Constants` \
+         conversion helpers (`nm`, `per_cm3`, `pa_per_um`, ...)" };
+    { id = unt004;
+      severity = Diagnostic.Error;
+      title = "dimensional analysis: argument contradicts a seeded signature";
+      fires_on =
+        "calling a table-seeded function (`Silicon.fermi_potential`, \
+         `Subthreshold.current`, ...) with an argument whose inferred dimension \
+         differs from the table (passing a voltage where a doping density belongs)";
+      stays_clean_on =
+        "arguments matching the table, literals, and arguments the pass cannot \
+         infer" };
+    { id = unt005;
+      severity = Diagnostic.Info;
+      title = "dimensional analysis: dimension lost through a container round-trip";
+      fires_on =
+        "a literal closure with a dimensioned result passed to `List.map`/`fold`/\
+         `Array.map`/... — the element dimension is not tracked through the \
+         container, so everything downstream degrades to unknown (reported once per \
+         site, info only)";
+      stays_clean_on =
+        "closures with dimensionless or unknown results, and direct (non-container) \
+         dataflow" } ]
 
 let severity_of_id id =
   match List.find_opt (fun m -> m.id = id) all with

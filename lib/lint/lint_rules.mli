@@ -26,6 +26,22 @@ val lnt004 : string
 val lnt005 : string
 (** Output hygiene: no direct printing in lib/. *)
 
+val unt001 : string
+(** Dimensional analysis: additive/comparison combination of incompatible
+    dimensions. *)
+
+val unt002 : string
+(** Dimensional analysis: non-dimensionless argument to exp/log/log10/**. *)
+
+val unt003 : string
+(** Dimensional analysis: display-unit (nm, cm^-3) and SI values mixed. *)
+
+val unt004 : string
+(** Dimensional analysis: argument contradicts a seeded signature. *)
+
+val unt005 : string
+(** Dimensional analysis: dimension lost through a container round-trip. *)
+
 val unreadable_cmt : string
 (** Infrastructure warning: a .cmt artifact could not be read. *)
 

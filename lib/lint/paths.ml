@@ -23,6 +23,26 @@ let normalize name =
 
 let path_name p = normalize (Path.name p)
 
+(* Undo dune's wrapped-library mangling: within (or across) wrapped
+   libraries the typedtree records "Device__Params.physical" where the
+   source says "Params.physical".  Each component keeps only what follows
+   its last "__" separator, so signature tables can be written against the
+   names programmers use. *)
+let demangle name =
+  let strip_component c =
+    let n = String.length c in
+    let rec last_sep i best =
+      if i + 1 >= n then best
+      else if c.[i] = '_' && c.[i + 1] = '_' then last_sep (i + 2) (Some (i + 2))
+      else last_sep (i + 1) best
+    in
+    match last_sep 0 None with
+    | Some start when start < n ->
+      String.capitalize_ascii (String.sub c start (n - start))
+    | _ -> c
+  in
+  String.concat "." (List.map strip_component (String.split_on_char '.' name))
+
 (* [suffix_matches ~candidates name] — does [name] equal a candidate or end
    with ".candidate"?  Suffix matching makes "Exec.Pool.map" hit the
    "Pool.map" target and lets fixtures define local modules with the same

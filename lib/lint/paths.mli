@@ -11,6 +11,11 @@ val normalize : string -> string
 val path_name : Path.t -> string
 (** [normalize (Path.name p)]. *)
 
+val demangle : string -> string
+(** Undo dune's wrapped-library mangling per component
+    ("Device__Params.physical" -> "Params.physical"), so signature tables
+    can be written against source-level names. *)
+
 val suffix_matches : candidates:string list -> string -> bool
 (** Does the name equal a candidate or end with [".candidate"]?  Lets
     "Exec.Pool.map" match the "Pool.map" target. *)

@@ -69,7 +69,68 @@ let cases =
     ( "LNT005 near miss: buffer + sprintf",
       Lint_rules.lnt005,
       false,
-      "let shout buf = Buffer.add_string buf (Printf.sprintf \"%d\" 42)\n" ) ]
+      "let shout buf = Buffer.add_string buf (Printf.sprintf \"%d\" 42)\n" );
+    (* The UNT crafted sources define local modules shaped like the real
+       libraries (Params, Constants, Silicon), which the signature tables
+       match by path suffix — the same route the fixture corpus takes. *)
+    ( "UNT001 length added to voltage",
+      Lint_rules.unt001,
+      true,
+      "module Params = struct type physical = { lpoly : float; vdd : float } end\n\
+       let bad (p : Params.physical) = p.Params.lpoly +. p.Params.vdd\n" );
+    ( "UNT001 near miss: like dimensions, literals, unknowns",
+      Lint_rules.unt001,
+      false,
+      "module Params = struct type physical = { lpoly : float; tox : float } end\n\
+       let good (p : Params.physical) = p.Params.lpoly +. p.Params.tox\n\
+       let offset (p : Params.physical) = p.Params.lpoly +. 1e-9\n\
+       let opaque (p : Params.physical) x = p.Params.lpoly +. x\n" );
+    ( "UNT002 exp of an un-normalized voltage",
+      Lint_rules.unt002,
+      true,
+      "module Params = struct type physical = { vdd : float } end\n\
+       let bad (p : Params.physical) = exp p.Params.vdd\n" );
+    ( "UNT002 near miss: normalized exponent",
+      Lint_rules.unt002,
+      false,
+      "module Params = struct type physical = { vdd : float } end\n\
+       module Constants = struct let vt_room = 0.02585 end\n\
+       let good (p : Params.physical) = exp (p.Params.vdd /. Constants.vt_room)\n" );
+    ( "UNT003 nm-scaled length mixed with SI",
+      Lint_rules.unt003,
+      true,
+      "module Params = struct type physical = { lpoly : float; tox : float } end\n\
+       module Constants = struct let to_nm x = x *. 1e9 end\n\
+       let bad (p : Params.physical) = Constants.to_nm p.Params.lpoly +. p.Params.tox\n" );
+    ( "UNT003 near miss: both sides converted",
+      Lint_rules.unt003,
+      false,
+      "module Params = struct type physical = { lpoly : float; tox : float } end\n\
+       module Constants = struct let to_nm x = x *. 1e9 end\n\
+       let good (p : Params.physical) =\n\
+      \  Constants.to_nm p.Params.lpoly +. Constants.to_nm p.Params.tox\n" );
+    ( "UNT004 voltage passed where doping belongs",
+      Lint_rules.unt004,
+      true,
+      "module Params = struct type physical = { vdd : float } end\n\
+       module Silicon = struct let fermi_potential n = n end\n\
+       let bad (p : Params.physical) = Silicon.fermi_potential p.Params.vdd\n" );
+    ( "UNT004 near miss: argument matches the table",
+      Lint_rules.unt004,
+      false,
+      "module Params = struct type physical = { nsub : float } end\n\
+       module Silicon = struct let fermi_potential n = n end\n\
+       let good (p : Params.physical) = Silicon.fermi_potential p.Params.nsub\n" );
+    ( "UNT005 dimension lost through List.map",
+      Lint_rules.unt005,
+      true,
+      "module Params = struct type physical = { vdd : float } end\n\
+       let bad (p : Params.physical) (xs : float list) =\n\
+      \  List.map (fun dv -> p.Params.vdd +. dv) xs\n" );
+    ( "UNT005 near miss: dimensionless closure body",
+      Lint_rules.unt005,
+      false,
+      "let good (xs : float list) = List.map (fun dv -> dv *. 2.0) xs\n" ) ]
 
 let make_temp_dir () =
   let path = Filename.temp_file "subscale_lint_selftest" "" in
@@ -99,7 +160,8 @@ let lint_snippet ~dir ~index source =
         (Purity.check ~source:u.Cmt_load.source u.Cmt_load.structure
          @ Hygiene.check ~source:u.Cmt_load.source ~exempt_output:false
              u.Cmt_load.structure
-         @ Discipline.check ~source:u.Cmt_load.source u.Cmt_load.structure)
+         @ Discipline.check ~source:u.Cmt_load.source u.Cmt_load.structure
+         @ Units.check ~source:u.Cmt_load.source u.Cmt_load.structure)
     | Cmt_load.Skipped -> Error "crafted cmt skipped"
     | Cmt_load.Unreadable (_, msg) -> Error ("crafted cmt unreadable: " ^ msg)
 
@@ -118,7 +180,15 @@ let registry_results () =
     | exception Check.Rules.Duplicate_rule _ ->
       { name = "duplicate LNT id rejected"; ok = true; detail = "Duplicate_rule" }
   in
-  [ collision_free; duplicate_rejected ]
+  let unit_table =
+    match Unit_sig.selftest () with
+    | n ->
+      { name = "unit signature table"; ok = true;
+        detail = Printf.sprintf "%d seeded entr(ies)" n }
+    | exception ((Failure _ | Invalid_argument _) as e) ->
+      { name = "unit signature table"; ok = false; detail = Printexc.to_string e }
+  in
+  [ collision_free; duplicate_rejected; unit_table ]
 
 let run () =
   let dir = make_temp_dir () in

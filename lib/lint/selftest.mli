@@ -1,7 +1,7 @@
 (** The linter's own test: crafted sources compiled at runtime (ocamlc
-    -bin-annot into a temp dir) must each fire exactly their LNT rule, the
-    near-misses must stay clean, and the rule registry must be
-    collision-free. *)
+    -bin-annot into a temp dir) must each fire exactly their LNT/UNT rule,
+    the near-misses must stay clean, and the rule registry and unit
+    signature table must be collision-free and well-formed. *)
 
 type result = { name : string; ok : bool; detail : string }
 

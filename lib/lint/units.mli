@@ -1,0 +1,7 @@
+(** UNT001–005: static dimensional analysis by abstract interpretation
+    over the typedtree, seeded from the {!Unit_sig} signature tables.
+    Sound-but-conservative: [unknown] propagates silently and never
+    fires; [(e [@units "V/dec"])] asserts a dimension and silences its
+    subtree. *)
+
+val check : source:string -> Typedtree.structure -> Check.Diagnostic.t list

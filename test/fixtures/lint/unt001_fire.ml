@@ -1,0 +1,7 @@
+(* UNT001: additive combination of incompatible dimensions — a poly
+   length [m] added to a supply voltage [V]. *)
+module Params = struct
+  type physical = { lpoly : float; vdd : float }
+end
+
+let bad (p : Params.physical) = p.Params.lpoly +. p.Params.vdd

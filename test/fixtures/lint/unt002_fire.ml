@@ -1,0 +1,7 @@
+(* UNT002: a dimensioned argument reaches exp — the voltage was never
+   normalized by the thermal voltage. *)
+module Params = struct
+  type physical = { vdd : float }
+end
+
+let bad (p : Params.physical) = exp p.Params.vdd

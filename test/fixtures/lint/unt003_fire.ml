@@ -1,0 +1,10 @@
+(* UNT003: a display-scale (nm) length mixed with an SI-scale one. *)
+module Params = struct
+  type physical = { lpoly : float; tox : float }
+end
+
+module Constants = struct
+  let to_nm x = x *. 1e9
+end
+
+let bad (p : Params.physical) = Constants.to_nm p.Params.lpoly +. p.Params.tox

@@ -1,0 +1,8 @@
+(* UNT005 (info): a dimensioned value [V] flows into a polymorphic
+   container round-trip the pass can't follow — reported once per site. *)
+module Params = struct
+  type physical = { vdd : float }
+end
+
+let bad (p : Params.physical) (xs : float list) =
+  List.map (fun dv -> p.Params.vdd +. dv) xs

@@ -1,6 +1,7 @@
-(* lib/lint: the fixture corpus (per LNT rule one firing source and one
-   near miss, compiled to .cmt by test/fixtures/lint/dune), baseline
-   round-trips, and the rule-registry integration. *)
+(* lib/lint: the fixture corpus (per LNT/UNT rule one firing source and
+   one near miss, compiled to .cmt by test/fixtures/lint/dune), .cmt
+   discovery across dune contexts, baseline round-trips, and the
+   rule-registry integration. *)
 
 open Subscale
 module Diag = Check.Diagnostic
@@ -74,13 +75,114 @@ let corpus_tests =
           Alcotest.failf "expected the Printf.printf and the print_newline site, got %d"
             (List.length diags));
     u "LNT005 accepts Buffer/sprintf formatting" (fun () -> clean "lnt005_clean");
+    u "UNT001 fires as an error on length +. voltage" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Error then
+              Alcotest.failf "UNT001 must be an error, got: %s" (Diag.to_string d))
+          (fires "unt001_fire" LR.unt001));
+    u "UNT001 accepts like dimensions, literals and unknowns" (fun () ->
+        clean "unt001_clean");
+    u "UNT002 fires on exp of an un-normalized voltage" (fun () ->
+        ignore (fires "unt002_fire" LR.unt002));
+    u "UNT002 accepts a V/V dimensionless exponent" (fun () -> clean "unt002_clean");
+    u "UNT003 fires as a warning on an nm/SI scale mix" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Warning then
+              Alcotest.failf "UNT003 must be a warning, got: %s" (Diag.to_string d))
+          (fires "unt003_fire" LR.unt003));
+    u "UNT003 accepts both operands through the same conversion" (fun () ->
+        clean "unt003_clean");
+    u "UNT004 fires on an argument contradicting the seeded table" (fun () ->
+        ignore (fires "unt004_fire" LR.unt004));
+    u "UNT004 accepts arguments matching the table" (fun () -> clean "unt004_clean");
+    u "UNT005 reports a container round-trip at info level" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Info then
+              Alcotest.failf "UNT005 must be info, got: %s" (Diag.to_string d))
+          (fires "unt005_fire" LR.unt005));
+    u "UNT005 stays silent on a dimensionless closure body" (fun () ->
+        clean "unt005_clean");
+    u "--no-units silences the UNT corpus entirely" (fun () ->
+        let path = Filename.concat fixture_dir "unt001_fire.cmt" in
+        match Lint.lint_cmt ~units:false path with
+        | Some r when r.Lint.diags = [] -> ()
+        | Some r ->
+          Alcotest.failf "expected clean without the units pass, got [%s]"
+            (String.concat "; " (List.map Diag.to_string r.Lint.diags))
+        | None -> Alcotest.fail "fixture lost its typedtree");
     u "lint_root scans the corpus in sorted order" (fun () ->
         let reports = Lint.lint_root fixture_dir in
         let sources = List.map (fun r -> r.Lint.source) reports in
-        if List.length sources < 10 then
-          Alcotest.failf "expected >= 10 fixture units, got %d" (List.length sources);
+        if List.length sources < 20 then
+          Alcotest.failf "expected >= 20 fixture units, got %d" (List.length sources);
         if sources <> List.sort String.compare sources then
           Alcotest.fail "lint_root reports are not sorted by source");
+  ]
+
+(* --- cmt discovery ------------------------------------------------------ *)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let n = in_channel_length ic in
+  let data = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let temp_dir () =
+  let path = Filename.temp_file "subscale_lint_ctx" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o700;
+  path
+
+(* A synthetic two-context _build: the same .cmt (same recorded source)
+   under _build/alt and _build/default, plus the same broken artifact in
+   both.  One unit must survive — the default context's — and the broken
+   file must be reported once, not twice. *)
+let cmt_load_tests =
+  [
+    u "load_root keeps one unit per source, preferring the default context"
+      (fun () ->
+        let root = temp_dir () in
+        let build = Filename.concat root "_build" in
+        Sys.mkdir build 0o700;
+        let ctx_alt = Filename.concat build "alt" in
+        let ctx_def = Filename.concat build "default" in
+        Sys.mkdir ctx_alt 0o700;
+        Sys.mkdir ctx_def 0o700;
+        let src = Filename.concat fixture_dir "unt001_fire.cmt" in
+        copy_file src (Filename.concat ctx_alt "unt001_fire.cmt");
+        copy_file src (Filename.concat ctx_def "unt001_fire.cmt");
+        write_file (Filename.concat ctx_alt "broken.cmt") "not a cmt";
+        write_file (Filename.concat ctx_def "broken.cmt") "not a cmt";
+        let units, unreadable = Lint.Cmt_load.load_root root in
+        Alcotest.(check int) "one unit for the duplicated source" 1
+          (List.length units);
+        (match units with
+        | [ u ] ->
+          let path = u.Lint.Cmt_load.cmt_path in
+          if not (List.mem "default" (String.split_on_char '/' path)) then
+            Alcotest.failf "expected the default-context artifact, got %s" path
+        | _ -> ());
+        Alcotest.(check int) "one unreadable report for the duplicated break" 1
+          (List.length unreadable));
+    u "load_root still reports distinct unreadable artifacts separately"
+      (fun () ->
+        let root = temp_dir () in
+        write_file (Filename.concat root "a.cmt") "garbage a";
+        write_file (Filename.concat root "b.cmt") "garbage b";
+        let units, unreadable = Lint.Cmt_load.load_root root in
+        Alcotest.(check int) "no units" 0 (List.length units);
+        Alcotest.(check int) "two unreadable reports" 2 (List.length unreadable));
   ]
 
 (* --- baseline ---------------------------------------------------------- *)
@@ -129,13 +231,62 @@ let baseline_tests =
           Alcotest.(check string) "file" "lib/foo.ml" e.B.file;
           Alcotest.(check int) "line" 12 e.B.line
         | None -> Alcotest.fail "entry_of_diag rejected a well-formed location");
+    u "mixed LNT+UNT baseline round-trips and applies per family" (fun () ->
+        let entries =
+          [
+            entry "LNT003" "lib/exec/pool.ml" 165 "— exception parity";
+            entry "UNT005" "lib/tcad/poisson.ml" 22 "— solver vectors untracked";
+            entry "UNT001" "lib/device/iv_model.ml" 40 "— deliberate cast";
+          ]
+        in
+        let reparsed = B.of_string (B.to_string entries) in
+        if reparsed <> entries then
+          Alcotest.failf "mixed-family round trip changed the baseline:\n%s"
+            (B.to_string reparsed);
+        (* The UNT001 finding got fixed: its entry must come back stale
+           while both the LNT and the remaining UNT entry keep matching. *)
+        let d severity rule location = Diag.make ~rule ~severity ~location "x" in
+        let { B.kept; suppressed; stale } =
+          B.apply reparsed
+            [
+              d Diag.Warning "LNT003" "lib/exec/pool.ml:165:4";
+              d Diag.Info "UNT005" "lib/tcad/poisson.ml:22:10";
+            ]
+        in
+        Alcotest.(check int) "kept" 0 (List.length kept);
+        Alcotest.(check int) "suppressed" 2 (List.length suppressed);
+        (match stale with
+        | [ e ] when e.B.rule = "UNT001" -> ()
+        | _ ->
+          Alcotest.failf "expected exactly the fixed UNT001 entry stale, got [%s]"
+            (String.concat "; " (List.map B.entry_to_string stale))));
+    u "is_todo flags --update-baseline stamps, todos filters them" (fun () ->
+        let justified = entry "UNT005" "lib/a.ml" 1 "— solver vectors untracked" in
+        let stamped = entry "UNT001" "lib/b.ml" 2 "— TODO: justify" in
+        let bare_todo = entry "LNT002" "lib/c.ml" 3 "TODO look into this" in
+        if B.is_todo justified then
+          Alcotest.fail "a real justification must not count as TODO";
+        if not (B.is_todo stamped) then
+          Alcotest.fail "the --update-baseline stamp must count as TODO";
+        if not (B.is_todo bare_todo) then
+          Alcotest.fail "a bare TODO note must count as TODO";
+        (match B.todos [ justified; stamped; bare_todo ] with
+        | [ a; b ] when a = stamped && b = bare_todo -> ()
+        | l ->
+          Alcotest.failf "todos kept the wrong entries: [%s]"
+            (String.concat "; " (List.map B.entry_to_string l)));
+        (* The stamp must survive serialization — otherwise --strict could
+           not reject a freshly regenerated baseline. *)
+        match B.of_string (B.to_string [ stamped ]) with
+        | [ e ] when B.is_todo e -> ()
+        | _ -> Alcotest.fail "TODO stamp lost through to_string/of_string");
   ]
 
 (* --- registry ---------------------------------------------------------- *)
 
 let registry_tests =
   [
-    u "every LNT rule is registered with the expected severity" (fun () ->
+    u "every LNT and UNT rule is registered with the expected severity" (fun () ->
         List.iter
           (fun (id, sev) ->
             match LR.find id with
@@ -148,6 +299,11 @@ let registry_tests =
             (LR.lnt003, Diag.Warning);
             (LR.lnt004, Diag.Error);
             (LR.lnt005, Diag.Warning);
+            (LR.unt001, Diag.Error);
+            (LR.unt002, Diag.Error);
+            (LR.unt003, Diag.Warning);
+            (LR.unt004, Diag.Error);
+            (LR.unt005, Diag.Info);
           ]);
     u "--rules markdown names every rule id" (fun () ->
         let md = Lint.rules_markdown () in
@@ -163,4 +319,5 @@ let registry_tests =
           LR.all);
   ]
 
-let suite = [ ("lint", corpus_tests @ baseline_tests @ registry_tests) ]
+let suite =
+  [ ("lint", corpus_tests @ cmt_load_tests @ baseline_tests @ registry_tests) ]
