@@ -255,51 +255,37 @@ let run_benchmarks ~quota tests =
     tests
 
 (* BENCH_tcad.json: the recorded perf trajectory for the Poisson/Gummel/
-   Extract chain plus memo-table hit/miss counts.  Hand-rolled JSON — the
-   schema is flat on purpose so diffs between trajectories read directly. *)
+   Extract chain plus memo-table hit/miss counts, in the subscale-bench/1
+   schema owned by Report.Bench_json (the regression test and CI parse it
+   with the same module, so writer and readers cannot drift). *)
 let write_bench_json path ~quota results =
-  let buf = Buffer.create 1024 in
-  let escape s =
-    String.concat ""
-      (List.map
-         (function
-           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
-           | c -> String.make 1 c)
-         (List.init (String.length s) (String.get s)))
+  let module B = Subscale.Report.Bench_json in
+  let doc =
+    {
+      B.suite = "tcad";
+      quota_s = quota;
+      results =
+        List.map
+          (fun (name, ns) ->
+            { B.bench = name; ns_per_run = (if Float.is_finite ns then Some ns else None) })
+          results;
+      memo =
+        List.map
+          (fun (s : Subscale.Exec.Memo.stats) ->
+            {
+              B.table = s.Subscale.Exec.Memo.name;
+              hits = s.Subscale.Exec.Memo.hits;
+              misses = s.Subscale.Exec.Memo.misses;
+              size = s.Subscale.Exec.Memo.size;
+            })
+          (Subscale.Exec.Memo.stats ());
+    }
   in
-  let number ns =
-    if Float.is_finite ns then Printf.sprintf "%.3f" ns else "null"
-  in
-  Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"subscale-bench/1\",\n";
-  Buffer.add_string buf "  \"suite\": \"tcad\",\n";
-  Buffer.add_string buf (Printf.sprintf "  \"quota_s\": %.3f,\n" quota);
-  Buffer.add_string buf "  \"results\": [\n";
-  List.iteri
-    (fun i (name, ns) ->
-      Buffer.add_string buf
-        (Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %s }%s\n"
-           (escape name) (number ns)
-           (if i = List.length results - 1 then "" else ",")))
-    results;
-  Buffer.add_string buf "  ],\n";
-  Buffer.add_string buf "  \"memo\": [\n";
-  let memo = Subscale.Exec.Memo.stats () in
-  List.iteri
-    (fun i (s : Subscale.Exec.Memo.stats) ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           "    { \"name\": \"%s\", \"hits\": %d, \"misses\": %d, \"size\": %d }%s\n"
-           (escape s.Subscale.Exec.Memo.name) s.Subscale.Exec.Memo.hits
-           s.Subscale.Exec.Memo.misses s.Subscale.Exec.Memo.size
-           (if i = List.length memo - 1 then "" else ",")))
-    memo;
-  Buffer.add_string buf "  ]\n}\n";
   let oc = open_out path in
-  Buffer.output_buffer oc buf;
+  output_string oc (B.render doc);
   close_out oc;
   Printf.printf "\nwrote %s (%d result(s), %d memo table(s))\n" path
-    (List.length results) (List.length memo)
+    (List.length doc.B.results) (List.length doc.B.memo)
 
 let () =
   let smoke = ref false in

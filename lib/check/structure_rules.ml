@@ -122,7 +122,7 @@ let check ?(max_growth = default_max_growth) ?(max_aspect = default_max_aspect)
   for k = 0 to n - 1 do
     match dev.S.boundary.(k) with
     | S.Ohmic term ->
-      let net = dev.S.net_doping.(k) in
+      let net = Tcad.Field.get dev.S.net_doping k in
       let term_name =
         match term with
         | S.Source -> "source"

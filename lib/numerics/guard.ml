@@ -41,6 +41,17 @@ let vec ~origin v =
   end;
   v
 
+let fvec ~origin (v : Fvec.t) =
+  if !enabled then begin
+    let n = Fvec.length v in
+    for i = 0 to n - 1 do
+      let x = Fvec.unsafe_get v i in
+      if not (Float.is_finite x) then
+        raise (Non_finite { origin; index = Some i; value = x })
+    done
+  end;
+  v
+
 let describe = function
   | Non_finite { origin; index; value } ->
     let where =

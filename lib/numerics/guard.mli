@@ -24,6 +24,9 @@ val vec : origin:string -> float array -> float array
 (** Identity when disabled; scans for the first non-finite element when
     enabled and raises {!Non_finite} with its index. *)
 
+val fvec : origin:string -> Fvec.t -> Fvec.t
+(** {!vec} for flat {!Fvec.t} buffers. *)
+
 val describe : exn -> string option
 (** Human-readable rendering of a {!Non_finite}; [None] on other
     exceptions. *)

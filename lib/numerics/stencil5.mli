@@ -1,0 +1,54 @@
+(** Pentadiagonal linear systems from 5-point finite-volume stencils on a
+    tensor mesh with nodes ordered [k = ix * ny + iy]: nonzero diagonals
+    only at offsets 0, +-1 and +-m (m = ny).
+
+    Unlike the generic {!Banded} path — which stores and clears the full
+    (2m+1)-diagonal band on every assembly — assembly here touches exactly
+    the five stencil diagonals, and the LU workspace (where fill-in lives)
+    is owned by the value, so a solver reusing one stencil across Newton /
+    Gummel iterations allocates nothing per solve.  On the same matrix the
+    solve is bit-identical to [Banded.solve_in_place] (same elimination
+    order, no pivoting). *)
+
+type t
+
+val create : n:int -> m:int -> t
+(** Zero system of order [n] with far-diagonal offset [m] (the inner mesh
+    dimension).  Requires [1 <= m < n]. *)
+
+val order : t -> int
+val offset : t -> int
+
+val rhs : t -> Fvec.t
+(** The right-hand-side buffer; assembly writes it, {!clear} zeroes it,
+    {!solve} reads it (and leaves it intact). *)
+
+val clear : t -> unit
+(** Zero the five diagonals and the right-hand side, keeping the storage. *)
+
+val get : t -> int -> int -> float
+(** [get a i j] is A(i,j); zero off the stencil. *)
+
+val set : t -> int -> int -> float -> unit
+(** Raises [Invalid_argument] when [j - i] is not one of 0, +-1, +-m. *)
+
+val add : t -> int -> int -> float -> unit
+(** Stamping accumulate; same domain as {!set}. *)
+
+val set_row :
+  t -> int -> west:float -> south:float -> diag:float -> north:float -> east:float ->
+  rhs:float -> unit
+(** Write row [i] in one shot: [west] is A(i,i-m), [south] A(i,i-1),
+    [north] A(i,i+1), [east] A(i,i+m).  Entries whose column falls outside
+    the matrix are ignored by {!solve}/{!mat_vec}, so pass 0.0 for them.
+    An assembler that [set_row]s every row needs no prior {!clear}. *)
+
+val mat_vec : t -> Fvec.t -> Fvec.t -> unit
+(** [mat_vec a x y] writes A x into [y]. *)
+
+val solve : t -> dst:Fvec.t -> unit
+(** Solve A x = rhs into [dst], allocation-free: expands the diagonals into
+    the internal band workspace, LU-factors without pivoting (adequate for
+    the diagonally dominant finite-volume systems) and substitutes.  The
+    diagonals and [rhs] are preserved.  Raises [Failure] on a (near-)zero
+    pivot. *)

@@ -1,0 +1,55 @@
+(** The [subscale-bench/1] interchange format: the machine-readable perf
+    trajectory the bench harness writes (BENCH_tcad.json) and CI compares
+    across commits.  Rendering and parsing live together so the writer, the
+    regression test and the CI comparator can never drift apart.
+
+    The format is a flat JSON object:
+
+    {v
+    { "schema": "subscale-bench/1",
+      "suite": "tcad",
+      "quota_s": 0.4,
+      "results": [ { "name": "...", "ns_per_run": 123.456 }, ... ],
+      "memo":    [ { "name": "...", "hits": 0, "misses": 0, "size": 0 }, ... ] }
+    v}
+
+    [ns_per_run] may be JSON [null] when an estimate was unavailable. *)
+
+type result_row = {
+  bench : string;  (** series name, e.g. ["tcad/gummel-bias-point"] *)
+  ns_per_run : float option;  (** OLS time per run; [None] renders as null *)
+}
+
+type memo_row = { table : string; hits : int; misses : int; size : int }
+
+type t = {
+  suite : string;
+  quota_s : float;  (** Bechamel sampling quota the numbers were taken at *)
+  results : result_row list;
+  memo : memo_row list;
+}
+
+val schema_id : string
+(** ["subscale-bench/1"]. *)
+
+val render : t -> string
+(** Serialize (always with the current {!schema_id}); [parse] of the result
+    round-trips. *)
+
+val parse : string -> (t, string) result
+(** Parse and validate a [subscale-bench/1] document.  [Error] carries a
+    human-readable reason: malformed JSON, wrong/missing schema tag,
+    missing fields, non-finite or negative timings, or duplicate series
+    names. *)
+
+val load : string -> (t, string) result
+(** [parse] of a file's contents; [Error] on unreadable files too. *)
+
+val find : t -> string -> float option
+(** [find t series] is the recorded ns-per-run, if the series is present
+    with a non-null estimate. *)
+
+val missing_series : baseline:t -> t -> string list
+(** Series names the baseline records that the candidate does not emit —
+    the regression CI guards against: a renamed or dropped bench would
+    silently break trajectory comparisons. *)

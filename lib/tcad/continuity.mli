@@ -21,30 +21,33 @@ val default_srh : srh
 (** 0.1 us lifetimes — a clean-silicon value. *)
 
 type solution = {
-  u : Numerics.Vec.t;  (** Slotboom variable per node *)
-  density : Numerics.Vec.t;  (** carrier density [m^-3] *)
-  quasi_fermi : Numerics.Vec.t;  (** quasi-Fermi potential [V] *)
+  u : Field.t;  (** Slotboom variable per node *)
+  density : Field.t;  (** carrier density [m^-3] *)
+  quasi_fermi : Field.t;  (** quasi-Fermi potential [V] *)
 }
 
 val solve :
-  ?recombination:srh * Numerics.Vec.t * Numerics.Vec.t ->
+  ?recombination:srh * Field.t * Field.t ->
+  ?scratch:Poisson.scratch ->
   Structure.t ->
   carrier:carrier ->
   biases:Poisson.biases ->
-  psi:Numerics.Vec.t ->
+  psi:Field.t ->
   solution
-(** Direct banded solve for one carrier.  [recombination] carries the SRH
-    lifetimes and the lagged electron and hole densities (in that order)
-    from the previous Gummel iterate; omit it for the recombination-free
-    problem.  Raises [Failure] on a singular system (cannot happen on a
-    connected mesh with an ohmic contact). *)
+(** Direct stencil-banded solve for one carrier.  [recombination] carries
+    the SRH lifetimes and the lagged electron and hole densities (in that
+    order) from the previous Gummel iterate; omit it for the
+    recombination-free problem.  [scratch] reuses the shared Poisson
+    workspace's system matrix (safe: each solve re-assembles every row).
+    Raises [Failure] on a singular system (cannot happen on a connected
+    mesh with an ohmic contact). *)
 
 val terminal_current :
-  Structure.t -> carrier:carrier -> psi:Numerics.Vec.t -> u:Numerics.Vec.t -> float
+  Structure.t -> carrier:carrier -> psi:Field.t -> u:Field.t -> float
 (** Signed conventional current [A per metre of width] carried by this
     carrier through a vertical mid-channel cut, positive flowing from
     source side to drain side. *)
 
-val drain_current : Structure.t -> psi:Numerics.Vec.t -> u:Numerics.Vec.t -> float
+val drain_current : Structure.t -> psi:Field.t -> u:Field.t -> float
 (** Electron-only magnitude (compatibility helper for N-channel sweeps):
     |{!terminal_current} Electrons|. *)

@@ -1,61 +1,125 @@
 type sweep = { vd : float; vgs : Numerics.Vec.t; ids : Numerics.Vec.t }
 
-(* Magnitude-based sweep: for a P-channel device the applied gate and drain
+let warm_start_counter = Obs.Metrics.counter "tcad.extract.warm_start"
+let warm_fallback_counter = Obs.Metrics.counter "tcad.extract.warm_fallback"
+
+(* Magnitude-based sweeps: for a P-channel device the applied gate and drain
    biases are negated internally, so callers reason in |V| for both
    polarities (the convention of every plot in the paper). *)
-let id_vg ?(vg_min = 0.0) ?(vg_max = 0.9) ?(points = 19) dev ~vd =
+let sign_of dev =
+  match dev.Structure.desc.Structure.polarity with
+  | Structure.Nchannel -> 1.0
+  | Structure.Pchannel -> -1.0
+
+(* Warm-started continuation step: speculatively jump straight from the
+   previous bias point's state to [target] (no ramping).  If the jump fails
+   to converge, fall back to a cold start — a fresh ramp from the sweep's
+   equilibrium [anchor] with the full iteration budget — and count the
+   fallback so sweeps that silently degrade to cold solves show up in the
+   metrics.  [max_warm_gummel] bounds only the speculative attempt. *)
+let advance ?tol ?max_gummel ?max_warm_gummel ~warm ~scratch ~anchor dev prev target =
+  if not warm then Gummel.solve_at ?tol ?max_gummel ~scratch dev ~from:anchor target
+  else begin
+    let warm_budget = match max_warm_gummel with Some _ as b -> b | None -> max_gummel in
+    match
+      Gummel.gummel_at ?tol ?max_gummel:warm_budget ~quiet:true ~scratch dev ~from:prev target
+    with
+    | s ->
+      Obs.Metrics.incr warm_start_counter;
+      s
+    | exception Gummel.No_convergence _ ->
+      Obs.Metrics.incr warm_fallback_counter;
+      Gummel.solve_at ?tol ?max_gummel ~scratch dev ~from:anchor target
+  end
+
+(* Shared Id-Vg core.  [anchor] is the equilibrium state cold starts ramp
+   from; [seed] is the state warm continuation enters the sweep plane from
+   (the anchor for a standalone sweep, the previous plane's entry state
+   inside [characterize]).  Returns the sweep and the entry state so the
+   next Vd plane can continue from it. *)
+let id_vg_from ~vg_min ~vg_max ~points ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch
+    ~anchor ~seed dev ~vd =
   if points < 2 then invalid_arg "Extract.id_vg: need at least 2 points";
   Obs.Trace.with_span ~cat:"tcad"
     ~attrs:[ ("vd", Obs.Trace.F vd); ("points", Obs.Trace.I points) ]
     "extract.id_vg"
   @@ fun () ->
-  let sign =
-    match dev.Structure.desc.Structure.polarity with
-    | Structure.Nchannel -> 1.0
-    | Structure.Pchannel -> -1.0
-  in
+  let sign = sign_of dev in
   let vgs = Numerics.Vec.linspace vg_min vg_max points in
   let ids = Array.make points 0.0 in
-  let eq = Gummel.equilibrium dev in
-  (* First reach (vg_min, vd), then walk the gate voltage. *)
-  let start =
-    Gummel.solve_at dev ~from:eq
-      { Poisson.zero_bias with Poisson.drain = sign *. vd; gate = sign *. vg_min }
+  let first_target =
+    { Poisson.zero_bias with Poisson.drain = sign *. vd; gate = sign *. vg_min }
   in
-  let state = ref start in
-  for i = 0 to points - 1 do
-    let target = { !state.Gummel.biases with Poisson.gate = sign *. vgs.(i) } in
-    state := Gummel.solve_at dev ~from:!state target;
-    ids.(i) <- !state.Gummel.drain_current
-  done;
-  { vd; vgs; ids }
+  (* Plane entry: ramped continuation from the seed state (which is the
+     plain cold start when [seed = anchor]). *)
+  let start =
+    Gummel.solve_at ?tol ?max_gummel ~scratch dev
+      ~from:(if warm then seed else anchor)
+      first_target
+  in
+  if warm then begin
+    ids.(0) <- start.Gummel.drain_current;
+    let state = ref start in
+    for i = 1 to points - 1 do
+      let target = { !state.Gummel.biases with Poisson.gate = sign *. vgs.(i) } in
+      state :=
+        advance ?tol ?max_gummel ?max_warm_gummel ~warm ~scratch ~anchor dev !state target;
+      ids.(i) <- !state.Gummel.drain_current
+    done
+  end
+  else
+    (* Cold reference path: every point restarts from equilibrium. *)
+    for i = 0 to points - 1 do
+      let target = { first_target with Poisson.gate = sign *. vgs.(i) } in
+      let s = Gummel.solve_at ?tol ?max_gummel ~scratch dev ~from:anchor target in
+      ids.(i) <- s.Gummel.drain_current
+    done;
+  ({ vd; vgs; ids }, start)
+
+let id_vg ?(vg_min = 0.0) ?(vg_max = 0.9) ?(points = 19) ?(warm = true) ?tol ?max_gummel
+    ?max_warm_gummel dev ~vd =
+  let scratch = Poisson.make_scratch dev in
+  let eq = Gummel.equilibrium ~scratch dev in
+  fst
+    (id_vg_from ~vg_min ~vg_max ~points ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch
+       ~anchor:eq ~seed:eq dev ~vd)
 
 (* Output characteristic: sweep the drain at fixed gate bias. *)
 type output_sweep = { vg : float; vds : Numerics.Vec.t; ids : Numerics.Vec.t }
 
-let id_vd ?(vd_max = 0.6) ?(points = 13) dev ~vg =
+let id_vd ?(vd_min = 0.0) ?(vd_max = 0.6) ?(points = 13) ?(warm = true) ?tol ?max_gummel
+    ?max_warm_gummel dev ~vg =
   if points < 2 then invalid_arg "Extract.id_vd: need at least 2 points";
+  if vd_min >= vd_max then invalid_arg "Extract.id_vd: need vd_min < vd_max";
   Obs.Trace.with_span ~cat:"tcad"
     ~attrs:[ ("vg", Obs.Trace.F vg); ("points", Obs.Trace.I points) ]
     "extract.id_vd"
   @@ fun () ->
-  let sign =
-    match dev.Structure.desc.Structure.polarity with
-    | Structure.Nchannel -> 1.0
-    | Structure.Pchannel -> -1.0
-  in
-  let vds = Numerics.Vec.linspace (vd_max /. float_of_int points) vd_max points in
+  let sign = sign_of dev in
+  let vds = Numerics.Vec.linspace vd_min vd_max points in
   let ids = Array.make points 0.0 in
-  let eq = Gummel.equilibrium dev in
-  let start =
-    Gummel.solve_at dev ~from:eq { Poisson.zero_bias with Poisson.gate = sign *. vg }
+  let scratch = Poisson.make_scratch dev in
+  let eq = Gummel.equilibrium ~scratch dev in
+  let first_target =
+    { Poisson.zero_bias with Poisson.gate = sign *. vg; drain = sign *. vd_min }
   in
-  let state = ref start in
-  for i = 0 to points - 1 do
-    let target = { !state.Gummel.biases with Poisson.drain = sign *. vds.(i) } in
-    state := Gummel.solve_at dev ~from:!state target;
-    ids.(i) <- !state.Gummel.drain_current
-  done;
+  let start = Gummel.solve_at ?tol ?max_gummel ~scratch dev ~from:eq first_target in
+  if warm then begin
+    ids.(0) <- start.Gummel.drain_current;
+    let state = ref start in
+    for i = 1 to points - 1 do
+      let target = { !state.Gummel.biases with Poisson.drain = sign *. vds.(i) } in
+      state :=
+        advance ?tol ?max_gummel ?max_warm_gummel ~warm ~scratch ~anchor:eq dev !state target;
+      ids.(i) <- !state.Gummel.drain_current
+    done
+  end
+  else
+    for i = 0 to points - 1 do
+      let target = { first_target with Poisson.drain = sign *. vds.(i) } in
+      let s = Gummel.solve_at ?tol ?max_gummel ~scratch dev ~from:eq target in
+      ids.(i) <- s.Gummel.drain_current
+    done;
   { vg; vds; ids }
 
 (* Gate charge per metre of width: the oxide field integrated over the gate
@@ -71,7 +135,9 @@ let gate_charge dev (state : Gummel.state) =
     let k = Mesh.index mesh ~ix ~iy:0 in
     match dev.Structure.boundary.(k) with
     | Structure.Gate_surface ->
-      total := !total +. (cox *. (gate_pot -. state.Gummel.psi.(k)) *. Mesh.dual_width_x mesh ix)
+      total :=
+        !total
+        +. (cox *. (gate_pot -. Field.get state.Gummel.psi k) *. Mesh.dual_width_x mesh ix)
     | Structure.Interior | Structure.Reflecting | Structure.Ohmic _ -> ()
   done;
   !total
@@ -81,14 +147,18 @@ let gate_capacitance ?(dv = 5e-3) dev ~vg ~vd =
     ~attrs:[ ("vg", Obs.Trace.F vg); ("vd", Obs.Trace.F vd) ]
     "extract.gate_capacitance"
   @@ fun () ->
-  let eq = Gummel.equilibrium dev in
-  let at vgate =
-    let s =
-      Gummel.solve_at dev ~from:eq { Poisson.zero_bias with Poisson.drain = vd; gate = vgate }
-    in
-    gate_charge dev s
+  let scratch = Poisson.make_scratch dev in
+  let eq = Gummel.equilibrium ~scratch dev in
+  let s_hi =
+    Gummel.solve_at ~scratch dev ~from:eq
+      { Poisson.zero_bias with Poisson.drain = vd; gate = vg +. dv }
   in
-  (at (vg +. dv) -. at (vg -. dv)) /. (2.0 *. dv)
+  (* The second bias point is 2 dv away: a warm jump from the first. *)
+  let s_lo =
+    advance ~warm:true ~scratch ~anchor:eq dev s_hi
+      { s_hi.Gummel.biases with Poisson.gate = vg -. dv }
+  in
+  (gate_charge dev s_hi -. gate_charge dev s_lo) /. (2.0 *. dv)
 
 type cut = {
   positions : Numerics.Vec.t;
@@ -102,7 +172,7 @@ let vertical_cut dev (state : Gummel.state) ~x =
   let mesh = dev.Structure.mesh in
   let ix = Mesh.find_ix mesh x in
   let ny = mesh.Mesh.ny in
-  let take field = Array.init ny (fun iy -> field.((ix * ny) + iy)) in
+  let take field = Array.init ny (fun iy -> Field.get field ((ix * ny) + iy)) in
   {
     positions = Array.copy mesh.Mesh.ys;
     psi = take state.Gummel.psi;
@@ -115,7 +185,7 @@ let lateral_cut dev (state : Gummel.state) ~y =
   let mesh = dev.Structure.mesh in
   let iy = Mesh.find_iy mesh y in
   let ny = mesh.Mesh.ny in
-  let take field = Array.init mesh.Mesh.nx (fun ix -> field.((ix * ny) + iy)) in
+  let take field = Array.init mesh.Mesh.nx (fun ix -> Field.get field ((ix * ny) + iy)) in
   {
     positions = Array.copy mesh.Mesh.xs;
     psi = take state.Gummel.psi;
@@ -181,9 +251,15 @@ let characterize_memo : characteristics Exec.Memo.t =
 let characterize ?(vdd = 0.9) dev =
   Obs.Trace.with_span ~cat:"tcad" ~attrs:[ ("vdd", Obs.Trace.F vdd) ] "extract.characterize"
   @@ fun () ->
-  let sweep_lin = id_vg dev ~vd:0.05 ~vg_max:(Float.max vdd 0.9) in
-  let sweep_sat = id_vg dev ~vd:vdd ~vg_max:(Float.max vdd 0.9) in
-  let sweep_sub = id_vg dev ~vd:0.25 ~vg_max:(Float.max vdd 0.9) in
+  let scratch = Poisson.make_scratch dev in
+  let eq = Gummel.equilibrium ~scratch dev in
+  let vg_max = Float.max vdd 0.9 in
+  let plane = id_vg_from ~vg_min:0.0 ~vg_max ~points:19 ~warm:true ~scratch ~anchor:eq dev in
+  (* One equilibrium serves all three Vd planes; each plane's entry state
+     continues from the previous plane's, in ascending drain bias. *)
+  let sweep_lin, entry_lin = plane ~seed:eq ~vd:0.05 in
+  let sweep_sub, entry_sub = plane ~seed:entry_lin ~vd:0.25 in
+  let sweep_sat, _ = plane ~seed:entry_sub ~vd:vdd in
   let ss = subthreshold_slope sweep_lin in
   let vth_lin = threshold_voltage sweep_lin in
   let vth_sat = threshold_voltage sweep_sat in

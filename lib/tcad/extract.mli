@@ -1,7 +1,16 @@
 (** Device characterization from simulated Id–Vg sweeps: inverse subthreshold
     slope, constant-current threshold voltage, DIBL, on/off currents.  This
     is the layer that stands in for the measurements the paper reads off its
-    MEDICI decks (Figs. 2, 3, 7). *)
+    MEDICI decks (Figs. 2, 3, 7).
+
+    Sweeps are warm-started by default: each bias point jumps directly from
+    the previous point's converged {!Gummel.state} (and [characterize]
+    threads the entry state across its Vd planes), falling back to a cold
+    start — a fresh ramp from equilibrium — when a jump fails to converge.
+    Successful jumps and fallbacks are counted in the
+    ["tcad.extract.warm_start"] / ["tcad.extract.warm_fallback"] metrics.
+    Passing [~warm:false] forces the cold path for every point — the slow
+    reference implementation the equivalence suite compares against. *)
 
 type sweep = {
   vd : float;
@@ -10,11 +19,14 @@ type sweep = {
 }
 
 val id_vg :
-  ?vg_min:float -> ?vg_max:float -> ?points:int -> Structure.t -> vd:float -> sweep
-(** Simulate an Id–Vg sweep at fixed [vd], warm-starting each bias point from
-    the previous one.  Default gate range 0 .. 0.9 V in 19 points.  Biases
-    are magnitudes: for a P-channel device the applied voltages are negated
-    internally. *)
+  ?vg_min:float -> ?vg_max:float -> ?points:int -> ?warm:bool -> ?tol:float ->
+  ?max_gummel:int -> ?max_warm_gummel:int -> Structure.t -> vd:float -> sweep
+(** Simulate an Id–Vg sweep at fixed [vd].  Default gate range 0 .. 0.9 V in
+    19 points.  Biases are magnitudes: for a P-channel device the applied
+    voltages are negated internally.  [tol]/[max_gummel] tune the Gummel
+    iteration at every point (defaults as {!Gummel.solve_at});
+    [max_warm_gummel] bounds only the speculative warm jumps, so a lower
+    value trades continuation speed for earlier fallback. *)
 
 type output_sweep = {
   vg : float;
@@ -22,9 +34,14 @@ type output_sweep = {
   ids : Numerics.Vec.t;  (** drain current [A/m] *)
 }
 
-val id_vd : ?vd_max:float -> ?points:int -> Structure.t -> vg:float -> output_sweep
+val id_vd :
+  ?vd_min:float -> ?vd_max:float -> ?points:int -> ?warm:bool -> ?tol:float ->
+  ?max_gummel:int -> ?max_warm_gummel:int -> Structure.t -> vg:float -> output_sweep
 (** Output characteristic at fixed gate bias (magnitudes; P-channel biases
-    negated internally).  Default sweep to 0.6 V in 13 points. *)
+    negated internally).  The drain grid is [linspace vd_min vd_max points]
+    — endpoints included — with [vd_min] defaulting to 0, so the sweep
+    starts at a true near-equilibrium drain point.  Default sweep 0 .. 0.6 V
+    in 13 points.  Raises [Invalid_argument] unless [vd_min < vd_max]. *)
 
 val gate_charge : Structure.t -> Gummel.state -> float
 (** Gate charge per metre of width [C/m]: the oxide displacement field
@@ -33,7 +50,7 @@ val gate_charge : Structure.t -> Gummel.state -> float
 val gate_capacitance : ?dv:float -> Structure.t -> vg:float -> vd:float -> float
 (** C_gg = dQ_g/dV_g [F/m of width] by central differencing two solves
     [dv] apart (default 5 mV) — the 2-D counterpart of the compact model's
-    C_g. *)
+    C_g.  The second bias point warm-starts from the first. *)
 
 type cut = {
   positions : Numerics.Vec.t;  (** node coordinates along the cut [m] *)
@@ -79,7 +96,9 @@ type characteristics = {
 
 val characterize : ?vdd:float -> Structure.t -> characteristics
 (** Full characterization at supply [vdd] (default 0.9 V for V_th,sat) and at
-    the paper's subthreshold operating point V_dd = 250 mV. *)
+    the paper's subthreshold operating point V_dd = 250 mV.  One equilibrium
+    solve seeds all three Vd planes; each plane's entry state warm-continues
+    from the previous plane's. *)
 
 val characterize_cached : ?vdd:float -> Structure.t -> characteristics
 (** [characterize] behind a content-addressed memo keyed on the structure's

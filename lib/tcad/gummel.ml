@@ -1,12 +1,12 @@
 type state = {
   biases : Poisson.biases;
-  psi : Numerics.Vec.t;
-  u : Numerics.Vec.t;
-  w : Numerics.Vec.t;
-  n : Numerics.Vec.t;
-  p : Numerics.Vec.t;
-  phi_n : Numerics.Vec.t;
-  phi_p : Numerics.Vec.t;
+  psi : Field.t;
+  u : Field.t;
+  w : Field.t;
+  n : Field.t;
+  p : Field.t;
+  phi_n : Field.t;
+  phi_p : Field.t;
   drain_current : float;
 }
 
@@ -24,16 +24,22 @@ let total_drain_current dev ~psi ~u ~w =
   let i_p = Continuity.terminal_current dev ~carrier:Continuity.Holes ~psi ~u:w in
   Float.abs (i_n +. i_p)
 
-let equilibrium dev =
+let equilibrium ?scratch dev =
   let n_nodes = Mesh.n_nodes dev.Structure.mesh in
-  let zeros = Array.make n_nodes 0.0 in
+  let zeros = Field.create n_nodes in
   let psi0 = Poisson.equilibrium_guess dev in
-  let sol = Poisson.solve dev ~biases:Poisson.zero_bias ~phi_n:zeros ~phi_p:zeros ~psi0 in
+  let sol =
+    Poisson.solve ?scratch dev ~biases:Poisson.zero_bias ~phi_n:zeros ~phi_p:zeros ~psi0
+  in
   if not sol.Poisson.converged then
     raise (No_convergence "equilibrium Poisson did not converge");
   let psi = sol.Poisson.psi in
-  let e = Continuity.solve dev ~carrier:Continuity.Electrons ~biases:Poisson.zero_bias ~psi in
-  let h = Continuity.solve dev ~carrier:Continuity.Holes ~biases:Poisson.zero_bias ~psi in
+  let e =
+    Continuity.solve ?scratch dev ~carrier:Continuity.Electrons ~biases:Poisson.zero_bias ~psi
+  in
+  let h =
+    Continuity.solve ?scratch dev ~carrier:Continuity.Holes ~biases:Poisson.zero_bias ~psi
+  in
   {
     biases = Poisson.zero_bias;
     psi;
@@ -46,44 +52,55 @@ let equilibrium dev =
     drain_current = 0.0;
   }
 
-let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_srh) dev
-    ~(from : state) (biases : Poisson.biases) =
+let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_srh)
+    ?(quiet = false) ?scratch dev ~(from : state) (biases : Poisson.biases) =
   Obs.Trace.with_span ~cat:"tcad"
     ~attrs:[ ("gate", Obs.Trace.F biases.gate); ("drain", Obs.Trace.F biases.drain) ]
     "gummel.at"
   @@ fun () ->
+  (* When the outer tolerance is tightened below its default, the inner
+     Newton must resolve the potential at least as finely or the outer
+     delta floors at the Poisson residual; at the default outer tol this
+     reduces to the Poisson default (1e-9 V). *)
+  let poisson_tol = Float.min 1e-9 (0.01 *. tol) in
   let rec loop psi phi_n phi_p n_prev p_prev iter =
-    let sol = Poisson.solve dev ~biases ~phi_n ~phi_p ~psi0:psi in
+    let sol = Poisson.solve ~tol:poisson_tol ~quiet ?scratch dev ~biases ~phi_n ~phi_p ~psi0:psi in
     if not sol.Poisson.converged then
       raise
         (No_convergence
            (Printf.sprintf "Poisson stalled at Vg=%.3f Vd=%.3f (residual %.2e)" biases.gate
               biases.drain sol.Poisson.residual));
     let psi' =
-      Numerics.Guard.vec
+      Numerics.Guard.fvec
         ~origin:(Printf.sprintf "Gummel.gummel_at: psi at Vg=%.3f Vd=%.3f" biases.gate
                    biases.drain)
         sol.Poisson.psi
     in
     let recombination = Option.map (fun s -> (s, n_prev, p_prev)) srh in
-    let e = Continuity.solve ?recombination dev ~carrier:Continuity.Electrons ~biases ~psi:psi' in
-    let h = Continuity.solve ?recombination dev ~carrier:Continuity.Holes ~biases ~psi:psi' in
-    let delta = Numerics.Vec.max_abs_diff psi' psi in
+    let e =
+      Continuity.solve ?recombination ?scratch dev ~carrier:Continuity.Electrons ~biases
+        ~psi:psi'
+    in
+    let h =
+      Continuity.solve ?recombination ?scratch dev ~carrier:Continuity.Holes ~biases ~psi:psi'
+    in
+    let delta = Field.max_abs_diff psi' psi in
     if delta < tol || iter >= max_gummel then begin
       if delta >= tol then begin
         (* Poisson emits its own non_converged event on its stalled exits
            above; this one covers the outer-loop stall only, so the two
            solvers never double-count a single failure. *)
-        Obs.non_converged ~solver:"tcad.gummel"
-          ~attrs:
-            [
-              ("gate", Obs.Trace.F biases.gate);
-              ("drain", Obs.Trace.F biases.drain);
-              ("delta", Obs.Trace.F delta);
-              ("iterations", Obs.Trace.I iter);
-            ]
-          (Printf.sprintf "Gummel stalled at Vg=%.3f Vd=%.3f (delta %.2e V)" biases.gate
-             biases.drain delta);
+        if not quiet then
+          Obs.non_converged ~solver:"tcad.gummel"
+            ~attrs:
+              [
+                ("gate", Obs.Trace.F biases.gate);
+                ("drain", Obs.Trace.F biases.drain);
+                ("delta", Obs.Trace.F delta);
+                ("iterations", Obs.Trace.I iter);
+              ]
+            (Printf.sprintf "Gummel stalled at Vg=%.3f Vd=%.3f (delta %.2e V)" biases.gate
+               biases.drain delta);
         raise
           (No_convergence
              (Printf.sprintf "Gummel stalled at Vg=%.3f Vd=%.3f (delta %.2e V)" biases.gate
@@ -112,7 +129,8 @@ let gummel_at ?(tol = 5e-7) ?(max_gummel = 40) ?(srh = Some Continuity.default_s
   in
   loop from.psi from.phi_n from.phi_p from.n from.p 0
 
-let solve_at ?(tol = 5e-7) ?(max_gummel = 40) ?(ramp_step = 0.1) ?srh dev ~from target =
+let solve_at ?(tol = 5e-7) ?(max_gummel = 40) ?(ramp_step = 0.1) ?srh ?scratch dev ~from
+    target =
   let dist (a : Poisson.biases) (b : Poisson.biases) =
     Float.max
       (Float.abs (a.Poisson.gate -. b.Poisson.gate))
@@ -149,7 +167,7 @@ let solve_at ?(tol = 5e-7) ?(max_gummel = 40) ?(ramp_step = 0.1) ?srh dev ~from 
       let b = interp (float_of_int i /. float_of_int steps) in
       Log.debug (fun m ->
           m "ramp step %d/%d: Vg=%.3f Vd=%.3f" i steps b.Poisson.gate b.Poisson.drain);
-      let state' = gummel_at ~tol ~max_gummel ?srh dev ~from:state b in
+      let state' = gummel_at ~tol ~max_gummel ?srh ?scratch dev ~from:state b in
       ramp state' (i + 1)
     end
   in

@@ -1,4 +1,13 @@
-type t = { xs : Numerics.Vec.t; ys : Numerics.Vec.t; nx : int; ny : int }
+type t = {
+  xs : Numerics.Vec.t;
+  ys : Numerics.Vec.t;
+  nx : int;
+  ny : int;
+  hx : Numerics.Vec.t;
+  hy : Numerics.Vec.t;
+  wx : Numerics.Vec.t;
+  wy : Numerics.Vec.t;
+}
 
 let check_increasing name v =
   for i = 0 to Array.length v - 2 do
@@ -6,12 +15,30 @@ let check_increasing name v =
       invalid_arg (Printf.sprintf "Mesh.make: %s must be strictly increasing" name)
   done
 
+let spacings axis = Array.init (Array.length axis - 1) (fun i -> axis.(i + 1) -. axis.(i))
+
+let dual_widths axis =
+  let n = Array.length axis in
+  Array.init n (fun i ->
+    let left = if i = 0 then 0.0 else 0.5 *. (axis.(i) -. axis.(i - 1)) in
+    let right = if i = n - 1 then 0.0 else 0.5 *. (axis.(i + 1) -. axis.(i)) in
+    left +. right)
+
 let make ~xs ~ys =
   if Array.length xs < 3 || Array.length ys < 3 then
     invalid_arg "Mesh.make: need at least a 3 x 3 mesh";
   check_increasing "xs" xs;
   check_increasing "ys" ys;
-  { xs; ys; nx = Array.length xs; ny = Array.length ys }
+  {
+    xs;
+    ys;
+    nx = Array.length xs;
+    ny = Array.length ys;
+    hx = spacings xs;
+    hy = spacings ys;
+    wx = dual_widths xs;
+    wy = dual_widths ys;
+  }
 
 let n_nodes m = m.nx * m.ny
 
@@ -24,17 +51,12 @@ let coords m k =
   let ix = k / m.ny and iy = k mod m.ny in
   (m.xs.(ix), m.ys.(iy))
 
-let dual_width axis n i =
-  let left = if i = 0 then 0.0 else 0.5 *. (axis.(i) -. axis.(i - 1)) in
-  let right = if i = n - 1 then 0.0 else 0.5 *. (axis.(i + 1) -. axis.(i)) in
-  left +. right
-
-let dual_width_x m ix = dual_width m.xs m.nx ix
-let dual_width_y m iy = dual_width m.ys m.ny iy
+let dual_width_x m ix = m.wx.(ix)
+let dual_width_y m iy = m.wy.(iy)
 
 let box_area m k =
   let ix = k / m.ny and iy = k mod m.ny in
-  dual_width_x m ix *. dual_width_y m iy
+  m.wx.(ix) *. m.wy.(iy)
 
 let find_nearest axis v =
   let n = Array.length axis in

@@ -13,6 +13,10 @@ type t = {
   ys : Numerics.Vec.t;  (** vertical node coordinates [m], 0 at surface *)
   nx : int;
   ny : int;
+  hx : Numerics.Vec.t;  (** precomputed spacings [xs.(i+1) - xs.(i)], length nx-1 *)
+  hy : Numerics.Vec.t;  (** precomputed spacings [ys.(i+1) - ys.(i)], length ny-1 *)
+  wx : Numerics.Vec.t;  (** precomputed dual-box widths per column, length nx *)
+  wy : Numerics.Vec.t;  (** precomputed dual-box widths per row, length ny *)
 }
 
 val make : xs:Numerics.Vec.t -> ys:Numerics.Vec.t -> t

@@ -1,13 +1,25 @@
+(* Hot loops below read fields through [BA1] (Bigarray.Array1) directly:
+   without flambda the [Field]/[Fvec] wrappers are true cross-module calls
+   that box every float, which dominates assembly time on fine meshes. *)
+module BA1 = Bigarray.Array1
+
 type biases = { source : float; drain : float; gate : float; substrate : float }
 
 let zero_bias = { source = 0.0; drain = 0.0; gate = 0.0; substrate = 0.0 }
 
 type solution = {
-  psi : Numerics.Vec.t;
+  psi : Field.t;
   iterations : int;
   residual : float;
   converged : bool;
 }
+
+type scratch = { sys : Numerics.Stencil5.t; work : Field.t }
+
+let make_scratch dev =
+  let mesh = dev.Structure.mesh in
+  let n = Mesh.n_nodes mesh in
+  { sys = Numerics.Stencil5.create ~n ~m:mesh.Mesh.ny; work = Field.create n }
 
 let q = Physics.Constants.q
 let eps_si = Physics.Constants.eps_si
@@ -17,10 +29,7 @@ let eps_ox = Physics.Constants.eps_ox
    n_i; carriers beyond this clamp are unphysical anyway. *)
 let safe_exp a = exp (Float.max (-120.0) (Float.min 120.0 a))
 
-let equilibrium_guess dev =
-  Array.map
-    (fun c -> Physics.Silicon.bulk_potential_of_net_doping ~t:dev.Structure.desc.temperature c)
-    dev.Structure.net_doping
+let equilibrium_guess dev = Field.copy dev.Structure.bulk_phi
 
 let terminal_bias (b : biases) = function
   | Structure.Source -> b.source
@@ -34,63 +43,108 @@ let contact_potential dev b term net =
 
 let iterations_hist = Obs.Metrics.histogram "tcad.poisson.iterations"
 
-let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
+let solve ?(tol = 1e-9) ?(max_iter = 80) ?(quiet = false) ?scratch dev ~biases ~phi_n ~phi_p
+    ~psi0 =
   let mesh = dev.Structure.mesh in
   let nx = mesh.Mesh.nx and ny = mesh.Mesh.ny in
   let n = nx * ny in
-  if Array.length psi0 <> n || Array.length phi_n <> n || Array.length phi_p <> n then
+  if Field.length psi0 <> n || Field.length phi_n <> n || Field.length phi_p <> n then
     invalid_arg "Poisson.solve: state length mismatch";
-  let xs = mesh.Mesh.xs and ys = mesh.Mesh.ys in
+  let { sys = a; work = dpsi } =
+    match scratch with
+    | Some s ->
+      if Numerics.Stencil5.order s.sys <> n || Numerics.Stencil5.offset s.sys <> ny then
+        invalid_arg "Poisson.solve: scratch shape mismatch";
+      s
+    | None -> make_scratch dev
+  in
+  let hx = mesh.Mesh.hx and hy = mesh.Mesh.hy in
+  let wxs = mesh.Mesh.wx and wys = mesh.Mesh.wy in
   let vt = dev.Structure.vt and ni = dev.Structure.ni in
-  let psi = Array.copy psi0 in
-  let a = Numerics.Banded.create ~n ~kl:ny ~ku:ny in
-  let rhs = Array.make n 0.0 in
+  let psi = Field.copy psi0 in
+  let bmask = dev.Structure.bmask and bulk_phi = dev.Structure.bulk_phi in
+  let net_doping = dev.Structure.net_doping in
+  let tox = dev.Structure.desc.Structure.tox in
+  (* Applied terminal biases indexed by [mask code - first_ohmic]. *)
+  let tb = [| biases.source; biases.drain; biases.gate; biases.substrate |] in
   let gate_pot = biases.gate +. dev.Structure.gate_potential_offset in
   (* Assemble residual F(psi) and Jacobian; returns residual inf-norm scaled
-     by the diagonal (units of volts). *)
+     by the diagonal (units of volts).  Every row is written, so no clear. *)
   let assemble () =
-    Numerics.Banded.clear a;
-    Array.fill rhs 0 n 0.0;
     let max_update_estimate = ref 0.0 in
     for ix = 0 to nx - 1 do
+      let wx = Array.unsafe_get wxs ix in
+      let inv_hxw = if ix > 0 then 1.0 /. Array.unsafe_get hx (ix - 1) else 0.0 in
+      let inv_hxe = if ix < nx - 1 then 1.0 /. Array.unsafe_get hx ix else 0.0 in
       for iy = 0 to ny - 1 do
         let k = (ix * ny) + iy in
-        match dev.Structure.boundary.(k) with
-        | Structure.Ohmic term ->
-          let value = contact_potential dev biases term dev.Structure.net_doping.(k) in
-          Numerics.Banded.set a k k 1.0;
-          rhs.(k) <- -.(psi.(k) -. value);
-          max_update_estimate := Float.max !max_update_estimate (Float.abs rhs.(k))
-        | Structure.Interior | Structure.Reflecting | Structure.Gate_surface ->
-          let wx = Mesh.dual_width_x mesh ix and wy = Mesh.dual_width_y mesh iy in
-          let diag = ref 0.0 and f = ref 0.0 in
-          let couple k' dist area =
-            let g = eps_si *. area /. dist in
-            f := !f +. (g *. (psi.(k') -. psi.(k)));
-            diag := !diag -. g;
-            Numerics.Banded.add_to a k k' g
+        let code = BA1.unsafe_get bmask k in
+        if code >= Field.Mask.first_ohmic then begin
+          let value =
+            Array.unsafe_get tb (code - Field.Mask.first_ohmic) +. BA1.unsafe_get bulk_phi k
           in
-          if ix > 0 then couple (k - ny) (xs.(ix) -. xs.(ix - 1)) wy;
-          if ix < nx - 1 then couple (k + ny) (xs.(ix + 1) -. xs.(ix)) wy;
-          if iy > 0 then couple (k - 1) (ys.(iy) -. ys.(iy - 1)) wx;
-          if iy < ny - 1 then couple (k + 1) (ys.(iy + 1) -. ys.(iy)) wx;
+          let r = -.(BA1.unsafe_get psi k -. value) in
+          Numerics.Stencil5.set_row a k ~west:0.0 ~south:0.0 ~diag:1.0 ~north:0.0 ~east:0.0
+            ~rhs:r;
+          max_update_estimate := Float.max !max_update_estimate (Float.abs r)
+        end
+        else begin
+          let wy = Array.unsafe_get wys iy in
+          let psi_k = BA1.unsafe_get psi k in
+          let diag = ref 0.0 and f = ref 0.0 in
+          let g_w =
+            if ix > 0 then begin
+              let g = eps_si *. wy *. inv_hxw in
+              f := !f +. (g *. (BA1.unsafe_get psi (k - ny) -. psi_k));
+              diag := !diag -. g;
+              g
+            end
+            else 0.0
+          in
+          let g_e =
+            if ix < nx - 1 then begin
+              let g = eps_si *. wy *. inv_hxe in
+              f := !f +. (g *. (BA1.unsafe_get psi (k + ny) -. psi_k));
+              diag := !diag -. g;
+              g
+            end
+            else 0.0
+          in
+          let g_s =
+            if iy > 0 then begin
+              let g = eps_si *. wx /. Array.unsafe_get hy (iy - 1) in
+              f := !f +. (g *. (BA1.unsafe_get psi (k - 1) -. psi_k));
+              diag := !diag -. g;
+              g
+            end
+            else 0.0
+          in
+          let g_n =
+            if iy < ny - 1 then begin
+              let g = eps_si *. wx /. Array.unsafe_get hy iy in
+              f := !f +. (g *. (BA1.unsafe_get psi (k + 1) -. psi_k));
+              diag := !diag -. g;
+              g
+            end
+            else 0.0
+          in
           (* Oxide Robin term on gate-surface boxes. *)
-          (match dev.Structure.boundary.(k) with
-           | Structure.Gate_surface ->
-             let g_ox = eps_ox *. wx /. dev.Structure.desc.tox in
-             f := !f +. (g_ox *. (gate_pot -. psi.(k)));
-             diag := !diag -. g_ox
-           | Structure.Interior | Structure.Reflecting | Structure.Ohmic _ -> ());
+          if code = Field.Mask.gate_surface then begin
+            let g_ox = eps_ox *. wx /. tox in
+            f := !f +. (g_ox *. (gate_pot -. psi_k));
+            diag := !diag -. g_ox
+          end;
           (* Space charge. *)
           let vol = wx *. wy in
-          let n_e = ni *. safe_exp ((psi.(k) -. phi_n.(k)) /. vt) in
-          let p_h = ni *. safe_exp ((phi_p.(k) -. psi.(k)) /. vt) in
-          let charge = q *. (p_h -. n_e +. dev.Structure.net_doping.(k)) *. vol in
+          let n_e = ni *. safe_exp ((psi_k -. BA1.unsafe_get phi_n k) /. vt) in
+          let p_h = ni *. safe_exp ((BA1.unsafe_get phi_p k -. psi_k) /. vt) in
+          let charge = q *. (p_h -. n_e +. BA1.unsafe_get net_doping k) *. vol in
           f := !f +. charge;
           diag := !diag -. (q *. (p_h +. n_e) /. vt *. vol);
-          Numerics.Banded.add_to a k k !diag;
-          rhs.(k) <- -. !f;
+          Numerics.Stencil5.set_row a k ~west:g_w ~south:g_s ~diag:!diag ~north:g_n ~east:g_e
+            ~rhs:(-. !f);
           max_update_estimate := Float.max !max_update_estimate (Float.abs (!f /. !diag))
+        end
       done
     done;
     !max_update_estimate
@@ -98,35 +152,36 @@ let solve ?(tol = 1e-9) ?(max_iter = 80) dev ~biases ~phi_n ~phi_p ~psi0 =
   (* Bank–Rose style damping: each node moves at most a few thermal
      voltages per iteration, which keeps the Boltzmann terms from exploding
      while letting already-converged regions take full Newton steps. *)
-  let _ = Numerics.Guard.vec ~origin:"Poisson.solve: initial potential" psi in
+  let _ = Numerics.Guard.fvec ~origin:"Poisson.solve: initial potential" psi in
   let clamp = 10.0 *. vt in
   let rec iterate iter =
     let scaled_res = assemble () in
     if scaled_res <= tol then begin
-      let _ = Numerics.Guard.vec ~origin:"Poisson.solve: converged potential" psi in
+      let _ = Numerics.Guard.fvec ~origin:"Poisson.solve: converged potential" psi in
       { psi; iterations = iter; residual = scaled_res; converged = true }
     end
     else if iter >= max_iter then begin
-      Obs.non_converged ~solver:"tcad.poisson"
-        ~attrs:
-          [
-            ("gate", Obs.Trace.F biases.gate);
-            ("drain", Obs.Trace.F biases.drain);
-            ("residual", Obs.Trace.F scaled_res);
-            ("iterations", Obs.Trace.I iter);
-          ]
-        (Printf.sprintf "Newton stalled at Vg=%.3f Vd=%.3f (residual %.2e after %d iterations)"
-           biases.gate biases.drain scaled_res iter);
+      if not quiet then
+        Obs.non_converged ~solver:"tcad.poisson"
+          ~attrs:
+            [
+              ("gate", Obs.Trace.F biases.gate);
+              ("drain", Obs.Trace.F biases.drain);
+              ("residual", Obs.Trace.F scaled_res);
+              ("iterations", Obs.Trace.I iter);
+            ]
+          (Printf.sprintf "Newton stalled at Vg=%.3f Vd=%.3f (residual %.2e after %d iterations)"
+             biases.gate biases.drain scaled_res iter);
       { psi; iterations = iter; residual = scaled_res; converged = false }
     end
     else begin
       Obs.Trace.instant ~cat:"tcad"
         ~attrs:[ ("iteration", Obs.Trace.I iter); ("scaled_residual", Obs.Trace.F scaled_res) ]
         "poisson.iter";
-      let dpsi = Numerics.Banded.solve_in_place a rhs in
+      Numerics.Stencil5.solve a ~dst:dpsi;
       for k = 0 to n - 1 do
-        let d = Float.max (-.clamp) (Float.min clamp dpsi.(k)) in
-        psi.(k) <- psi.(k) +. d
+        let d = Float.max (-.clamp) (Float.min clamp (BA1.unsafe_get dpsi k)) in
+        BA1.unsafe_set psi k (BA1.unsafe_get psi k +. d)
       done;
       iterate (iter + 1)
     end

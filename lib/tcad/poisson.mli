@@ -1,7 +1,8 @@
 (** Nonlinear Poisson solver: div(eps grad psi) = -q (p - n + C) with
     Boltzmann carriers at frozen quasi-Fermi potentials (one Gummel half
-    step).  Finite-volume on the tensor mesh; damped Newton with a banded
-    direct solver.
+    step).  Finite-volume on the tensor mesh; damped Newton with a
+    stencil-aware banded direct solver ({!Numerics.Stencil5}) over flat
+    {!Field.t} buffers.
 
     Potentials are referenced to the intrinsic Fermi level, so an ohmic
     contact at applied bias V is the Dirichlet value
@@ -13,14 +14,23 @@ type biases = { source : float; drain : float; gate : float; substrate : float }
 val zero_bias : biases
 
 type solution = {
-  psi : Numerics.Vec.t;
+  psi : Field.t;
   iterations : int;
   residual : float;  (** infinity norm of the scaled residual [V] *)
   converged : bool;
 }
 
-val equilibrium_guess : Structure.t -> Numerics.Vec.t
-(** Charge-neutral potential per node — the standard initial guess. *)
+type scratch = { sys : Numerics.Stencil5.t; work : Field.t }
+(** Reusable assembly/solve workspace (system matrix + update buffer).
+    One scratch serves every solve on meshes of the same shape — including
+    the continuity solves ({!Continuity.solve}) — but must not be shared
+    across concurrent domains. *)
+
+val make_scratch : Structure.t -> scratch
+
+val equilibrium_guess : Structure.t -> Field.t
+(** Charge-neutral potential per node — the standard initial guess (a copy
+    of the structure's precomputed [bulk_phi]). *)
 
 val contact_potential : Structure.t -> biases -> Structure.terminal -> float -> float
 (** [contact_potential dev b term net] is the Dirichlet potential of an ohmic
@@ -29,11 +39,17 @@ val contact_potential : Structure.t -> biases -> Structure.terminal -> float -> 
 val solve :
   ?tol:float ->
   ?max_iter:int ->
+  ?quiet:bool ->
+  ?scratch:scratch ->
   Structure.t ->
   biases:biases ->
-  phi_n:Numerics.Vec.t ->
-  phi_p:Numerics.Vec.t ->
-  psi0:Numerics.Vec.t ->
+  phi_n:Field.t ->
+  phi_p:Field.t ->
+  psi0:Field.t ->
   solution
 (** Newton iteration from [psi0]; per-node updates are clamped to a fraction
-    of a volt for robustness.  [tol] (default 1e-9 V) bounds the update norm. *)
+    of a volt for robustness.  [tol] (default 1e-9 V) bounds the update
+    norm.  [quiet] suppresses the [Obs.non_converged] event on a stall
+    (for speculative warm starts that have a planned fallback); the
+    returned [converged] flag is unaffected.  [scratch] reuses an assembly
+    workspace across calls; one is allocated per call when omitted. *)

@@ -77,16 +77,27 @@ type boundary = Interior | Ohmic of terminal | Gate_surface | Reflecting
 type t = {
   desc : description;
   mesh : Mesh.t;
-  net_doping : Numerics.Vec.t;
-  total_doping : Numerics.Vec.t;
+  net_doping : Field.t;
+  total_doping : Field.t;
   boundary : boundary array;
-  mobility_n : Numerics.Vec.t;
-  mobility_p : Numerics.Vec.t;
+  bmask : Field.Mask.t;
+  bulk_phi : Field.t;
+  mobility_n : Field.t;
+  mobility_p : Field.t;
   gate_potential_offset : float;
   x_channel_mid : float;
   ni : float;
   vt : float;
 }
+
+let mask_of_boundary = function
+  | Interior -> Field.Mask.interior
+  | Reflecting -> Field.Mask.reflecting
+  | Gate_surface -> Field.Mask.gate_surface
+  | Ohmic Source -> Field.Mask.ohmic_source
+  | Ohmic Drain -> Field.Mask.ohmic_drain
+  | Ohmic Gate -> Field.Mask.ohmic_gate
+  | Ohmic Substrate -> Field.Mask.ohmic_substrate
 
 (* Geometry layout along x:
      [0 .. w_contact]                      source ohmic contact (top surface)
@@ -156,8 +167,8 @@ let build ?(nx = 61) ?(ny = 41) d =
           ~sigma_y:halo_sigma;
       ]
   in
-  let net_doping = Array.make n 0.0 in
-  let total_doping = Array.make n 0.0 in
+  let net_doping = Field.create n in
+  let total_doping = Field.create n in
   (* [donors]/[acceptors] above are written for the N-channel layout (donor
      wells in an acceptor body); a P-channel device is its exact mirror, so
      the net doping simply flips sign. *)
@@ -165,8 +176,8 @@ let build ?(nx = 61) ?(ny = 41) d =
   for k = 0 to n - 1 do
     let x, y = Mesh.coords mesh k in
     let nd = donors ~x ~y and na = acceptors ~x ~y in
-    net_doping.(k) <- sign *. (nd -. na);
-    total_doping.(k) <- nd +. na
+    Field.set net_doping k (sign *. (nd -. na));
+    Field.set total_doping k (nd +. na)
   done;
   (* Boundary classification. *)
   let boundary = Array.make n Interior in
@@ -187,13 +198,25 @@ let build ?(nx = 61) ?(ny = 41) d =
     boundary.(Mesh.index mesh ~ix:0 ~iy) <- Reflecting;
     boundary.(Mesh.index mesh ~ix:(nxm - 1) ~iy) <- Reflecting
   done;
+  let bmask = Field.Mask.create n in
+  for k = 0 to n - 1 do
+    Field.Mask.set bmask k (mask_of_boundary boundary.(k))
+  done;
+  (* Precomputed charge-neutral potentials: the equilibrium initial guess
+     and the built-in part of every ohmic Dirichlet value. *)
+  let bulk_phi =
+    Field.init n (fun k ->
+        Physics.Silicon.bulk_potential_of_net_doping ~t:d.temperature (Field.get net_doping k))
+  in
   let mobility_n =
-    Array.init n (fun k ->
-        Physics.Mobility.channel ~t:d.temperature Physics.Mobility.Electron total_doping.(k))
+    Field.init n (fun k ->
+        Physics.Mobility.channel ~t:d.temperature Physics.Mobility.Electron
+          (Field.get total_doping k))
   in
   let mobility_p =
-    Array.init n (fun k ->
-        Physics.Mobility.channel ~t:d.temperature Physics.Mobility.Hole total_doping.(k))
+    Field.init n (fun k ->
+        Physics.Mobility.channel ~t:d.temperature Physics.Mobility.Hole
+          (Field.get total_doping k))
   in
   (* n+ poly for the N-channel device, p+ poly for the P-channel mirror. *)
   let gate_potential_offset =
@@ -205,6 +228,8 @@ let build ?(nx = 61) ?(ny = 41) d =
     net_doping;
     total_doping;
     boundary;
+    bmask;
+    bulk_phi;
     mobility_n;
     mobility_p;
     gate_potential_offset;
@@ -221,7 +246,7 @@ let effective_channel_length dev =
   for ix = 0 to nxm - 2 do
     let k0 = Mesh.index mesh ~ix ~iy:0 in
     let k1 = Mesh.index mesh ~ix:(ix + 1) ~iy:0 in
-    let d0 = dev.net_doping.(k0) and d1 = dev.net_doping.(k1) in
+    let d0 = Field.get dev.net_doping k0 and d1 = Field.get dev.net_doping k1 in
     if d0 *. d1 < 0.0 then begin
       let t = d0 /. (d0 -. d1) in
       let x = mesh.Mesh.xs.(ix) +. (t *. (mesh.Mesh.xs.(ix + 1) -. mesh.Mesh.xs.(ix))) in

@@ -57,11 +57,13 @@ type boundary =
 type t = {
   desc : description;
   mesh : Mesh.t;
-  net_doping : Numerics.Vec.t;  (** N_D - N_A per node [m^-3] *)
-  total_doping : Numerics.Vec.t;  (** N_D + N_A per node, for mobility *)
-  boundary : boundary array;  (** per node *)
-  mobility_n : Numerics.Vec.t;  (** electron mobility per node [m^2/Vs] *)
-  mobility_p : Numerics.Vec.t;  (** hole mobility per node [m^2/Vs] *)
+  net_doping : Field.t;  (** N_D - N_A per node [m^-3] *)
+  total_doping : Field.t;  (** N_D + N_A per node, for mobility *)
+  boundary : boundary array;  (** per node (structured view; see [bmask]) *)
+  bmask : Field.Mask.t;  (** packed boundary codes for assembly loops *)
+  bulk_phi : Field.t;  (** charge-neutral potential per node [V] *)
+  mobility_n : Field.t;  (** electron mobility per node [m^2/Vs] *)
+  mobility_p : Field.t;  (** hole mobility per node [m^2/Vs] *)
   gate_potential_offset : float;
       (** degenerate poly gate potential wrt intrinsic [V]; positive (n+)
           for N-channel, negative (p+) for P-channel *)

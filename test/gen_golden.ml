@@ -30,4 +30,38 @@ let () =
       output_string oc (Subscale.Report.Table.render o.Subscale.Experiments.table);
       close_out oc;
       Printf.printf "wrote %s\n" path)
-    golden_ids
+    golden_ids;
+  (* TCAD solver goldens: Id-Vg and Id-Vd sweeps on the 45 nm node, printed
+     as "bias current" pairs in %.6e.  The device build and sweep parameters
+     must stay in sync with the readers in test/test_tcad_equiv.ml, which
+     recompute the sweeps and compare numerically (rel 1e-6), so the
+     snapshots survive harmless last-digit drift but catch solver changes. *)
+  let dev45 =
+    let phys =
+      List.find
+        (fun p -> p.Subscale.Device.Params.node_nm = 45)
+        Subscale.Device.Params.paper_table2
+    in
+    let nfet =
+      (Subscale.Circuits.Inverter.pair_of_physical phys).Subscale.Circuits.Inverter.nfet
+    in
+    Subscale.Tcad.Structure.build (Subscale.Device.Compact.to_tcad_description nfet)
+  in
+  let write_pairs id header xs ys =
+    let path = Filename.concat dir (id ^ ".txt") in
+    let oc = open_out path in
+    Printf.fprintf oc "# %s\n" header;
+    Array.iteri (fun i x -> Printf.fprintf oc "%.6e %.6e\n" x ys.(i)) xs;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  let idvg =
+    Subscale.Tcad.Extract.id_vg ~vg_min:0.0 ~vg_max:0.6 ~points:9 dev45 ~vd:0.05
+  in
+  write_pairs "tcad_idvg_45" "Id-Vg, 45 nm NFET, Vd = 50 mV: vg [V], id [A/m]"
+    idvg.Subscale.Tcad.Extract.vgs idvg.Subscale.Tcad.Extract.ids;
+  let idvd =
+    Subscale.Tcad.Extract.id_vd ~vd_min:0.0 ~vd_max:0.5 ~points:7 dev45 ~vg:0.3
+  in
+  write_pairs "tcad_idvd_45" "Id-Vd, 45 nm NFET, Vg = 300 mV: vd [V], id [A/m]"
+    idvd.Subscale.Tcad.Extract.vds idvd.Subscale.Tcad.Extract.ids

@@ -229,10 +229,11 @@ let structure_tests =
         in
         check_fires "missing contact" "tcad-contact-coverage" (Check.structure no_source);
         (* Zero the doping under the drain contact: neutrality rule. *)
-        let neutral_doping = Array.copy dev.Tcad.Structure.net_doping in
+        let neutral_doping = Tcad.Field.copy dev.Tcad.Structure.net_doping in
         Array.iteri
           (fun k b ->
-            if b = Tcad.Structure.Ohmic Tcad.Structure.Drain then neutral_doping.(k) <- 0.0)
+            if b = Tcad.Structure.Ohmic Tcad.Structure.Drain then
+              Tcad.Field.set neutral_doping k 0.0)
           dev.Tcad.Structure.boundary;
         check_fires "intrinsic contact" "tcad-charge-neutrality"
           (Check.structure { dev with Tcad.Structure.net_doping = neutral_doping }));

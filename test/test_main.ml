@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "subscale"
-    (Test_physics.suite @ Test_numerics.suite @ Test_tcad.suite @ Test_device.suite
+    (Test_physics.suite @ Test_numerics.suite @ Test_tcad.suite @ Test_tcad_equiv.suite
+     @ Test_device.suite
      @ Test_spice.suite @ Test_circuits.suite @ Test_analysis.suite @ Test_scaling.suite
      @ Test_report.suite @ Test_experiments.suite @ Test_extensions.suite @ Test_eda.suite
      @ Test_check.suite @ Test_exec.suite @ Test_audit.suite @ Test_obs.suite

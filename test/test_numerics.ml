@@ -11,6 +11,8 @@ module Integrate = Numerics.Integrate
 module Grid = Numerics.Grid
 module Stats = Numerics.Stats
 module Newton = Numerics.Newton
+module Fvec = Numerics.Fvec
+module Stencil5 = Numerics.Stencil5
 
 let u = Test_util.case
 let prop = Test_util.prop
@@ -200,6 +202,134 @@ let banded_tests =
         Banded.add_to a 1 1 2.0;
         Banded.add_to a 1 1 3.0;
         Test_util.check_float "sum" 5.0 (Banded.get a 1 1));
+  ]
+
+let fvec_tests =
+  [
+    u "create zero-fills and of_array/to_array round trips" (fun () ->
+        let z = Fvec.create 4 in
+        Alcotest.(check bool) "zeroed" true (Fvec.for_all (Float.equal 0.0) z);
+        let v = Fvec.of_array [| 1.0; -2.5; 3.0 |] in
+        Alcotest.(check (array (float 0.0))) "round trip" [| 1.0; -2.5; 3.0 |]
+          (Fvec.to_array v));
+    u "blit/copy/fill/map behave like their Array counterparts" (fun () ->
+        let v = Fvec.init 5 float_of_int in
+        let w = Fvec.create 5 in
+        Fvec.blit v w;
+        Test_util.check_float "blit" 4.0 (Fvec.get w 4);
+        let c = Fvec.copy v in
+        Fvec.fill v 7.0;
+        Test_util.check_float "copy is detached" 2.0 (Fvec.get c 2);
+        let d = Fvec.map (fun x -> 2.0 *. x) c in
+        Test_util.check_float "map" 6.0 (Fvec.get d 3));
+    prop "max_abs_diff is the inf-norm of the difference" (gen_small_vec 8)
+      (fun a ->
+        let v = Fvec.of_array a in
+        let w = Fvec.map (fun x -> x +. 0.5) v in
+        Float.abs (Fvec.max_abs_diff v w -. 0.5) < 1e-12);
+  ]
+
+(* A random diagonally dominant pentadiagonal system with the +-1/+-m
+   stencil structure, assembled into both solvers. *)
+let gen_stencil_system ~n ~m:_ =
+  QCheck2.Gen.(
+    let* off = array_size (pure (4 * n)) (float_range (-1.0) 1.0) in
+    let* x_true = gen_small_vec n in
+    pure (off, x_true))
+
+let assemble_pair ~n ~m off =
+  let st = Stencil5.create ~n ~m in
+  let bd = Banded.create ~n ~kl:m ~ku:m in
+  for i = 0 to n - 1 do
+    let entry j v =
+      if j >= 0 && j < n && not (Float.equal v 0.0) then begin
+        Stencil5.set st i j v;
+        Banded.set bd i j v
+      end;
+      if j >= 0 && j < n then Float.abs v else 0.0
+    in
+    let w = entry (i - m) off.((4 * i) + 0) in
+    let s = entry (i - 1) off.((4 * i) + 1) in
+    let nn = entry (i + 1) off.((4 * i) + 2) in
+    let e = entry (i + m) off.((4 * i) + 3) in
+    let d = w +. s +. nn +. e +. 1.0 in
+    Stencil5.set st i i d;
+    Banded.set bd i i d
+  done;
+  (st, bd)
+
+let stencil5_tests =
+  [
+    u "create validates the shape" (fun () ->
+        Alcotest.check_raises "m >= n" (Invalid_argument "Stencil5.create") (fun () ->
+            ignore (Stencil5.create ~n:3 ~m:3)));
+    u "set rejects off-stencil entries, get reads zero off the band" (fun () ->
+        let a = Stencil5.create ~n:10 ~m:3 in
+        Test_util.check_float "off-stencil zero" 0.0 (Stencil5.get a 0 2);
+        Alcotest.check_raises "set off-stencil"
+          (Invalid_argument "Stencil5.set: (0, 2) off the stencil") (fun () ->
+            Stencil5.set a 0 2 1.0));
+    prop "solve matches Banded on random pentadiagonal dominant systems"
+      ~count:50
+      (gen_stencil_system ~n:24 ~m:5)
+      (fun (off, x_true) ->
+        let n = 24 and m = 5 in
+        let st, bd = assemble_pair ~n ~m off in
+        (* rhs = A x_true, computed once via the banded path so the two
+           solvers start from identical data. *)
+        let rhs = Banded.mat_vec bd x_true in
+        Array.iteri (fun i v -> Fvec.set (Stencil5.rhs st) i v) rhs;
+        let dst = Fvec.create n in
+        Stencil5.solve st ~dst;
+        let x_banded = Banded.solve_in_place bd (Array.copy rhs) in
+        Vec.max_abs_diff (Fvec.to_array dst) x_banded < 1e-9
+        && Vec.max_abs_diff (Fvec.to_array dst) x_true < 1e-7);
+    prop "mat_vec matches Banded mat_vec" ~count:50
+      (gen_stencil_system ~n:18 ~m:4)
+      (fun (off, x) ->
+        let n = 18 and m = 4 in
+        let st, bd = assemble_pair ~n ~m off in
+        let y = Fvec.create n in
+        Stencil5.mat_vec st (Fvec.of_array x) y;
+        Vec.max_abs_diff (Fvec.to_array y) (Banded.mat_vec bd x) < 1e-12);
+    u "set_row writes all five diagonals and the rhs" (fun () ->
+        let a = Stencil5.create ~n:12 ~m:3 in
+        Stencil5.set_row a 5 ~west:(-1.0) ~south:(-2.0) ~diag:7.0 ~north:(-3.0)
+          ~east:(-0.5) ~rhs:4.0;
+        Test_util.check_float "west" (-1.0) (Stencil5.get a 5 2);
+        Test_util.check_float "south" (-2.0) (Stencil5.get a 5 4);
+        Test_util.check_float "diag" 7.0 (Stencil5.get a 5 5);
+        Test_util.check_float "north" (-3.0) (Stencil5.get a 5 6);
+        Test_util.check_float "east" (-0.5) (Stencil5.get a 5 8);
+        Test_util.check_float "rhs" 4.0 (Fvec.get (Stencil5.rhs a) 5));
+    u "solve reuses the workspace across calls" (fun () ->
+        (* Two different systems through one stencil: the second solve must
+           be unaffected by the first one's factorization leftovers. *)
+        let n = 15 and m = 3 in
+        let a = Stencil5.create ~n ~m in
+        for i = 0 to n - 1 do
+          Stencil5.set_row a i ~west:(-1.0) ~south:(-1.0) ~diag:5.0 ~north:(-1.0)
+            ~east:(-1.0) ~rhs:1.0
+        done;
+        let d1 = Fvec.create n in
+        Stencil5.solve a ~dst:d1;
+        let first = Fvec.to_array d1 in
+        for i = 0 to n - 1 do
+          Stencil5.set_row a i ~west:(-1.0) ~south:(-1.0) ~diag:5.0 ~north:(-1.0)
+            ~east:(-1.0) ~rhs:1.0
+        done;
+        let d2 = Fvec.create n in
+        Stencil5.solve a ~dst:d2;
+        Alcotest.(check (array (float 0.0))) "identical" first (Fvec.to_array d2));
+    u "zero pivot fails loudly" (fun () ->
+        let a = Stencil5.create ~n:6 ~m:2 in
+        for i = 0 to 5 do
+          Stencil5.set_row a i ~west:0.0 ~south:0.0 ~diag:0.0 ~north:0.0 ~east:0.0
+            ~rhs:1.0
+        done;
+        Alcotest.check_raises "zero pivot"
+          (Failure "Stencil5.solve: zero pivot at row 0") (fun () ->
+            Stencil5.solve a ~dst:(Fvec.create 6)));
   ]
 
 let sparse_tests =
@@ -474,6 +604,8 @@ let suite =
     ("numerics.matrix", matrix_tests);
     ("numerics.tridiag", tridiag_tests);
     ("numerics.banded", banded_tests);
+    ("numerics.fvec", fvec_tests);
+    ("numerics.stencil5", stencil5_tests);
     ("numerics.sparse", sparse_tests);
     ("numerics.root", root_tests);
     ("numerics.minimize", minimize_tests);

@@ -404,7 +404,7 @@ let non_convergence_tests =
     u "Solver_rules.check_poisson flags an unconverged solution" (fun () ->
         let sol =
           {
-            Subscale.Tcad.Poisson.psi = [| 0.0 |];
+            Subscale.Tcad.Poisson.psi = Subscale.Tcad.Field.of_array [| 0.0 |];
             iterations = 80;
             residual = 3.2e-4;
             converged = false;
@@ -417,7 +417,7 @@ let non_convergence_tests =
     u "Solver_rules.check_poisson accepts a converged solution" (fun () ->
         let sol =
           {
-            Subscale.Tcad.Poisson.psi = [| 0.0 |];
+            Subscale.Tcad.Poisson.psi = Subscale.Tcad.Field.of_array [| 0.0 |];
             iterations = 7;
             residual = 1e-10;
             converged = true;

@@ -111,8 +111,8 @@ let structure_tests =
         let m = dev.Structure.mesh in
         let k_src = Mesh.index m ~ix:0 ~iy:0 in
         let k_mid = Mesh.index m ~ix:(Mesh.find_ix m dev.Structure.x_channel_mid) ~iy:0 in
-        Alcotest.(check bool) "source n+" true (dev.Structure.net_doping.(k_src) > 0.0);
-        Alcotest.(check bool) "channel p" true (dev.Structure.net_doping.(k_mid) < 0.0));
+        Alcotest.(check bool) "source n+" true (dev.Structure.net_doping.{k_src} > 0.0);
+        Alcotest.(check bool) "channel p" true (dev.Structure.net_doping.{k_mid} < 0.0));
     u "scale_description scales junction geometry with Lpoly" (fun () ->
         let d = Structure.default_description in
         let d' = Structure.scale_description ~lpoly:(0.5 *. d.Structure.lpoly) d in
@@ -131,30 +131,30 @@ let poisson_tests =
     u "equilibrium converges" (fun () ->
         let eq = Lazy.force equilibrium in
         Alcotest.(check bool) "finite psi" true
-          (Array.for_all Float.is_finite eq.Gummel.psi));
+          (Tcad.Field.for_all Float.is_finite eq.Gummel.psi));
     u "deep-substrate potential equals the neutral value" (fun () ->
         let dev = Lazy.force device in
         let eq = Lazy.force equilibrium in
         let m = dev.Structure.mesh in
         let k = Mesh.index m ~ix:(m.Mesh.nx / 2) ~iy:(m.Mesh.ny - 1) in
         let expected =
-          Physics.Silicon.bulk_potential_of_net_doping dev.Structure.net_doping.(k)
+          Physics.Silicon.bulk_potential_of_net_doping dev.Structure.net_doping.{k}
         in
-        Test_util.check_rel "psi_bulk" ~rel:0.02 expected eq.Gummel.psi.(k));
+        Test_util.check_rel "psi_bulk" ~rel:0.02 expected eq.Gummel.psi.{k});
     u "source contact pins its built-in potential" (fun () ->
         let dev = Lazy.force device in
         let eq = Lazy.force equilibrium in
         let k = Mesh.index dev.Structure.mesh ~ix:0 ~iy:0 in
         let expected =
-          Physics.Silicon.bulk_potential_of_net_doping dev.Structure.net_doping.(k)
+          Physics.Silicon.bulk_potential_of_net_doping dev.Structure.net_doping.{k}
         in
-        Test_util.check_rel "psi_contact" ~rel:1e-6 expected eq.Gummel.psi.(k));
+        Test_util.check_rel "psi_contact" ~rel:1e-6 expected eq.Gummel.psi.{k});
     u "equilibrium electron density follows Boltzmann" (fun () ->
         let dev = Lazy.force device in
         let eq = Lazy.force equilibrium in
         let k = Mesh.index dev.Structure.mesh ~ix:0 ~iy:0 in
-        let expected = dev.Structure.ni *. exp (eq.Gummel.psi.(k) /. dev.Structure.vt) in
-        Test_util.check_rel "n" ~rel:0.01 expected eq.Gummel.n.(k));
+        let expected = dev.Structure.ni *. exp (eq.Gummel.psi.{k} /. dev.Structure.vt) in
+        Test_util.check_rel "n" ~rel:0.01 expected eq.Gummel.n.{k});
     u "equilibrium drain current is negligible" (fun () ->
         let eq = Lazy.force equilibrium in
         Alcotest.(check bool) "tiny" true (Float.abs eq.Gummel.drain_current < 1e-8));

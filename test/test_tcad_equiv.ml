@@ -1,0 +1,245 @@
+(* Solver-equivalence suite for the warm-started sweep continuation.
+
+   The warm path (speculative jump from the previous bias point's state)
+   must reproduce the cold reference (every point a fresh ramp from
+   equilibrium) to within the Gummel tolerance: at tol = 1e-11 in potential
+   the drain currents agree to ~1e-9 relative (dI/I ~ dpsi/vt).  The suite
+   drives random bias boxes over all four shipped nodes on reduced meshes,
+   pins the warm-failure fallback semantics, and checks full-mesh golden
+   sweeps on the 45 nm node (regenerate with `dune exec test/gen_golden.exe`
+   after intentional solver changes). *)
+
+open Subscale
+module Structure = Tcad.Structure
+module Poisson = Tcad.Poisson
+module Gummel = Tcad.Gummel
+module Extract = Tcad.Extract
+module Params = Device.Params
+
+let u = Test_util.case
+let slow = Test_util.slow_case
+
+let shipped_nodes = [ 90; 65; 45; 32 ]
+
+let physical_of_node node_nm =
+  List.find (fun p -> p.Params.node_nm = node_nm) Params.paper_table2
+
+let description_of_node node_nm =
+  let nfet =
+    (Circuits.Inverter.pair_of_physical (physical_of_node node_nm))
+      .Circuits.Inverter.nfet
+  in
+  Device.Compact.to_tcad_description nfet
+
+(* Reduced meshes keep a sweep pair (warm + cold) at milliseconds; the
+   discretization is coarse but the equivalence claim is mesh-independent. *)
+let small_dev =
+  let cache = Hashtbl.create 4 in
+  fun node_nm ->
+    match Hashtbl.find_opt cache node_nm with
+    | Some dev -> dev
+    | None ->
+      let dev = Structure.build ~nx:24 ~ny:20 (description_of_node node_nm) in
+      Hashtbl.add cache node_nm dev;
+      dev
+
+(* Full default-mesh 45 nm device — must match test/gen_golden.ml. *)
+let golden_dev = lazy (Structure.build (description_of_node 45))
+
+let tol = 1e-11
+let max_gummel = 200
+
+let check_sweep_close name ~rel (expected : Numerics.Vec.t) (actual : Numerics.Vec.t) =
+  Alcotest.(check int) (name ^ ": points") (Array.length expected) (Array.length actual);
+  Array.iteri
+    (fun i id ->
+      Test_util.check_rel (Printf.sprintf "%s: point %d" name i) ~rel expected.(i) id)
+    actual
+
+(* --- warm vs cold equivalence ---------------------------------------- *)
+
+let gen_bias_box =
+  QCheck2.Gen.(
+    let* node_nm = oneofl shipped_nodes in
+    let* vd = float_range 0.02 0.6 in
+    let* vg_min = float_range 0.0 0.4 in
+    let* span = float_range 0.1 0.5 in
+    pure (node_nm, vd, vg_min, vg_min +. span))
+
+let equivalence_tests =
+  [
+    Test_util.prop "warm id_vg matches cold within 1e-9 over random bias boxes"
+      ~count:12 gen_bias_box (fun (node_nm, vd, vg_min, vg_max) ->
+        let dev = small_dev node_nm in
+        let warm = Extract.id_vg ~vg_min ~vg_max ~points:5 ~tol ~max_gummel dev ~vd in
+        let cold =
+          Extract.id_vg ~vg_min ~vg_max ~points:5 ~warm:false ~tol ~max_gummel dev ~vd
+        in
+        Array.iteri
+          (fun i id ->
+            let scale = Float.max (Float.abs cold.Extract.ids.(i)) (Float.abs id) in
+            if Float.abs (cold.Extract.ids.(i) -. id) > 1e-9 *. scale then
+              QCheck2.Test.fail_reportf
+                "node %d, Vd=%.3f, Vg in [%.3f, %.3f], point %d: warm %.12e vs cold %.12e"
+                node_nm vd vg_min vg_max i id
+                cold.Extract.ids.(i))
+          warm.Extract.ids;
+        true);
+    slow "warm id_vd matches cold within 1e-9 on every shipped node" (fun () ->
+        List.iter
+          (fun node_nm ->
+            let dev = small_dev node_nm in
+            let warm =
+              Extract.id_vd ~vd_min:0.0 ~vd_max:0.5 ~points:6 ~tol ~max_gummel dev ~vg:0.3
+            in
+            let cold =
+              Extract.id_vd ~vd_min:0.0 ~vd_max:0.5 ~points:6 ~warm:false ~tol ~max_gummel
+                dev ~vg:0.3
+            in
+            check_sweep_close
+              (Printf.sprintf "node %d" node_nm)
+              ~rel:1e-9 cold.Extract.ids warm.Extract.ids)
+          shipped_nodes);
+    u "characterize agrees with per-plane cold sweeps" (fun () ->
+        (* The cross-plane warm continuation inside characterize must not
+           move the extracted figures: recompute its linear-Vd plane cold
+           and compare the currents it is built from. *)
+        let dev = small_dev 65 in
+        let warm = Extract.id_vg ~vg_min:0.0 ~vg_max:0.9 ~points:19 ~tol ~max_gummel dev ~vd:0.05 in
+        let cold =
+          Extract.id_vg ~vg_min:0.0 ~vg_max:0.9 ~points:19 ~warm:false ~tol ~max_gummel dev
+            ~vd:0.05
+        in
+        Test_util.check_rel "subthreshold slope" ~rel:1e-6
+          (Extract.subthreshold_slope cold)
+          (Extract.subthreshold_slope warm);
+        Test_util.check_rel "threshold voltage" ~rel:1e-6
+          (Extract.threshold_voltage cold)
+          (Extract.threshold_voltage warm));
+  ]
+
+(* --- fallback semantics ----------------------------------------------- *)
+
+let warm_start_counter = Obs.Metrics.counter "tcad.extract.warm_start"
+let warm_fallback_counter = Obs.Metrics.counter "tcad.extract.warm_fallback"
+
+let fallback_tests =
+  [
+    u "a starved warm budget falls back cold and matches the cold sweep exactly"
+      (fun () ->
+        (* max_warm_gummel = 1 cannot converge any speculative jump, so every
+           continuation point must retry as a fresh ramp from the sweep's
+           equilibrium anchor — the exact arithmetic of ~warm:false — and
+           count one fallback per jump. *)
+        let dev = small_dev 45 in
+        let starts0 = Obs.Metrics.counter_value warm_start_counter in
+        let falls0 = Obs.Metrics.counter_value warm_fallback_counter in
+        let starved =
+          Extract.id_vg ~vg_min:0.0 ~vg_max:0.6 ~points:4 ~max_warm_gummel:1 dev ~vd:0.25
+        in
+        Alcotest.(check int)
+          "every jump fell back" 3
+          (Obs.Metrics.counter_value warm_fallback_counter - falls0);
+        Alcotest.(check int)
+          "no jump succeeded" 0
+          (Obs.Metrics.counter_value warm_start_counter - starts0);
+        let cold = Extract.id_vg ~vg_min:0.0 ~vg_max:0.6 ~points:4 ~warm:false dev ~vd:0.25 in
+        Array.iteri
+          (fun i id -> Alcotest.(check (float 0.0)) (Printf.sprintf "point %d" i) cold.Extract.ids.(i) id)
+          starved.Extract.ids);
+    u "an ample warm budget counts one warm start per continuation point" (fun () ->
+        let dev = small_dev 45 in
+        let starts0 = Obs.Metrics.counter_value warm_start_counter in
+        let falls0 = Obs.Metrics.counter_value warm_fallback_counter in
+        let _ = Extract.id_vg ~vg_min:0.2 ~vg_max:0.5 ~points:4 dev ~vd:0.05 in
+        Alcotest.(check int)
+          "warm starts" 3
+          (Obs.Metrics.counter_value warm_start_counter - starts0);
+        Alcotest.(check int)
+          "no fallback" 0
+          (Obs.Metrics.counter_value warm_fallback_counter - falls0));
+  ]
+
+(* --- id_vd drain grid -------------------------------------------------- *)
+
+let grid_tests =
+  [
+    u "id_vd pins both endpoints of [vd_min, vd_max]" (fun () ->
+        let dev = small_dev 90 in
+        let out = Extract.id_vd ~vd_min:0.1 ~vd_max:0.5 ~points:5 dev ~vg:0.3 in
+        Alcotest.(check int) "points" 5 (Array.length out.Extract.vds);
+        Test_util.check_float ~tol:1e-12 "first" 0.1 out.Extract.vds.(0);
+        Test_util.check_float ~tol:1e-12 "last" 0.5 out.Extract.vds.(4);
+        Test_util.check_float ~tol:1e-12 "spacing" 0.1
+          (out.Extract.vds.(1) -. out.Extract.vds.(0)));
+    u "id_vd starts at the true origin by default" (fun () ->
+        let dev = small_dev 90 in
+        let out = Extract.id_vd ~vd_max:0.2 ~points:3 dev ~vg:0.3 in
+        Test_util.check_float ~tol:0.0 "vd_min default" 0.0 out.Extract.vds.(0);
+        (* At Vd = 0 no drain current can flow. *)
+        Alcotest.(check bool)
+          "Id(0) negligible" true
+          (Float.abs out.Extract.ids.(0) < Float.abs out.Extract.ids.(2) *. 1e-3));
+    u "id_vd rejects an empty drain interval" (fun () ->
+        let dev = small_dev 90 in
+        Alcotest.check_raises "vd_min >= vd_max"
+          (Invalid_argument "Extract.id_vd: need vd_min < vd_max") (fun () ->
+            ignore (Extract.id_vd ~vd_min:0.4 ~vd_max:0.4 dev ~vg:0.3)));
+  ]
+
+(* --- golden sweeps on the full 45 nm mesh ------------------------------ *)
+
+let read_golden_pairs path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      if String.length line = 0 || line.[0] = '#' then go acc
+      else begin
+        match String.split_on_char ' ' (String.trim line) with
+        | [ x; y ] -> go ((float_of_string x, float_of_string y) :: acc)
+        | _ -> failwith (path ^ ": malformed line: " ^ line)
+      end
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let golden_path id =
+  let candidates = [ Filename.concat "golden" id; Filename.concat "test/golden" id ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Alcotest.failf "golden snapshot %s not found (run test/gen_golden.exe)" id
+
+let check_golden name pairs xs ys =
+  Alcotest.(check int) (name ^ ": points") (List.length pairs) (Array.length xs);
+  List.iteri
+    (fun i (x, y) ->
+      (* %.6e carries 7 significant digits, so both columns compare at the
+         snapshot's own precision. *)
+      Test_util.check_rel (Printf.sprintf "%s: bias %d" name i) ~rel:1e-6 x xs.(i);
+      Test_util.check_rel (Printf.sprintf "%s: current %d" name i) ~rel:1e-6 y ys.(i))
+    pairs
+
+let golden_tests =
+  [
+    slow "45 nm Id-Vg reproduces the golden snapshot" (fun () ->
+        let dev = Lazy.force golden_dev in
+        let sweep = Extract.id_vg ~vg_min:0.0 ~vg_max:0.6 ~points:9 dev ~vd:0.05 in
+        let pairs = read_golden_pairs (golden_path "tcad_idvg_45.txt") in
+        check_golden "idvg" pairs sweep.Extract.vgs sweep.Extract.ids);
+    slow "45 nm Id-Vd reproduces the golden snapshot" (fun () ->
+        let dev = Lazy.force golden_dev in
+        let sweep = Extract.id_vd ~vd_min:0.0 ~vd_max:0.5 ~points:7 dev ~vg:0.3 in
+        let pairs = read_golden_pairs (golden_path "tcad_idvd_45.txt") in
+        check_golden "idvd" pairs sweep.Extract.vds sweep.Extract.ids);
+  ]
+
+let suite =
+  [
+    ("tcad-equiv.warm-cold", equivalence_tests);
+    ("tcad-equiv.fallback", fallback_tests);
+    ("tcad-equiv.id-vd-grid", grid_tests);
+    ("tcad-equiv.golden", golden_tests);
+  ]
