@@ -993,7 +993,7 @@ let lint_selftest () =
     exit 1
   end;
   print_endline
-    "lint selftest: every LNT and UNT rule fires on its crafted source, near-misses stay clean"
+    "lint selftest: every LNT, UNT and ALS rule fires on its crafted source, near-misses stay clean"
 
 let lint_update_baseline ~baseline_path (app : L.Baseline.application) old_baseline =
   (* Keep the justification of every entry that still matches; new findings
@@ -1032,19 +1032,55 @@ let lint_update_baseline ~baseline_path (app : L.Baseline.application) old_basel
     (if List.length entries = 1 then "y" else "ies")
     baseline_path
 
+(* --format json: one finding per line, machine-readable, matched in CI by
+   .github/lint-problem-matcher.json — keep the field order in sync. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let diag_json (d : Diag.t) =
+  let file, line, col =
+    match String.split_on_char ':' d.Diag.location with
+    | [ f; l; c ] ->
+      ( f,
+        Option.value ~default:0 (int_of_string_opt l),
+        Option.value ~default:0 (int_of_string_opt c) )
+    | [ f; l ] -> (f, Option.value ~default:0 (int_of_string_opt l), 0)
+    | _ -> (d.Diag.location, 0, 0)
+  in
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"%s}"
+    (json_escape d.Diag.rule)
+    (Diag.severity_label d.Diag.severity)
+    (json_escape file) line col
+    (json_escape d.Diag.message)
+    (match d.Diag.hint with
+     | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (json_escape h)
+     | None -> "")
+
 let lint_cmd =
   let selftest =
     let doc =
       "Run the linter's own test: crafted sources compiled on the fly must \
-       each fire exactly their LNT/UNT rule, the near-misses must stay clean, \
-       and the rule-id registry and unit signature table must validate."
+       each fire exactly their LNT/UNT/ALS rule, the near-misses must stay \
+       clean, and the rule-id registry and unit signature table must validate."
     in
     Arg.(value & flag & info [ "selftest" ] ~doc)
   in
   let strict =
     let doc =
       "Exit non-zero on warnings, stale baseline entries, TODO-justified \
-       baseline entries and UNT dimensional errors too, not only LNT errors."
+       baseline entries and advisory UNT/ALS errors too, not only LNT errors."
     in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
@@ -1055,6 +1091,24 @@ let lint_cmd =
     in
     let off = "Skip the UNT dimensional-analysis pass." in
     Arg.(value & vflag true [ (true, info [ "units" ] ~doc:on); (false, info [ "no-units" ] ~doc:off) ])
+  in
+  let alias =
+    let on =
+      "Run the ALS buffer-ownership/aliasing pass (the default): \
+       interprocedural summaries over the whole --root tree.  ALS errors are \
+       advisory unless $(b,--strict)."
+    in
+    let off = "Skip the ALS buffer-ownership pass." in
+    Arg.(value & vflag true [ (true, info [ "alias" ] ~doc:on); (false, info [ "no-alias" ] ~doc:off) ])
+  in
+  let format =
+    let doc =
+      "Output format: $(b,text) (human-readable, the default) or $(b,json) \
+       (one finding per line with rule, severity, file, line, col, message — \
+       consumed by the CI problem matcher)."
+    in
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc)
   in
   let rules =
     let doc = "Print the rule table as markdown (the contents of docs/lint-rules.md)." in
@@ -1081,7 +1135,7 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "update-baseline" ] ~doc)
   in
-  let run () selftest strict units rules baseline_path root update =
+  let run () selftest strict units alias format rules baseline_path root update =
     if rules then print_string (L.rules_markdown ())
     else if selftest then lint_selftest ()
     else begin
@@ -1092,7 +1146,7 @@ let lint_cmd =
           root;
         exit 2
       end;
-      let reports = L.lint_root ~units root in
+      let reports = L.lint_root ~units ~alias root in
       let baseline =
         match L.Baseline.load baseline_path with
         | b -> b
@@ -1103,37 +1157,48 @@ let lint_cmd =
       let app = L.Baseline.apply baseline (L.all_diags reports) in
       if update then lint_update_baseline ~baseline_path app baseline
       else begin
-        Printf.printf "lint: scanned %d compilation unit(s) under %s\n"
+        (* in json mode stdout carries only the finding lines; the human
+           chrome moves to stderr so the problem matcher sees clean input *)
+        let note fmt =
+          match format with
+          | `Text -> Printf.printf fmt
+          | `Json -> Printf.eprintf fmt
+        in
+        note "lint: scanned %d compilation unit(s) under %s\n"
           (List.length reports) root;
         List.iter
-          (fun d -> Printf.printf "  %s\n" (Diag.to_string d))
+          (fun d ->
+            match format with
+            | `Text -> Printf.printf "  %s\n" (Diag.to_string d)
+            | `Json -> print_endline (diag_json d))
           (Diag.sort app.L.Baseline.kept);
         if app.L.Baseline.suppressed <> [] then
-          Printf.printf "  baseline: %d finding(s) grandfathered by %s\n"
+          note "  baseline: %d finding(s) grandfathered by %s\n"
             (List.length app.L.Baseline.suppressed)
             baseline_path;
         List.iter
           (fun (e : L.Baseline.entry) ->
-            Printf.printf "  stale baseline entry (fixed? remove it): %s\n"
+            note "  stale baseline entry (fixed? remove it): %s\n"
               (L.Baseline.entry_to_string e))
           app.L.Baseline.stale;
         let todos = L.Baseline.todos baseline in
         if strict then
           List.iter
             (fun (e : L.Baseline.entry) ->
-              Printf.printf "  TODO justification (rejected by --strict): %s\n"
+              note "  TODO justification (rejected by --strict): %s\n"
                 (L.Baseline.entry_to_string e))
             todos;
         let kept = app.L.Baseline.kept in
         let _, w, _ = Diag.count kept in
-        Printf.printf "lint: %s\n" (Diag.summary kept);
-        (* UNT dimensional errors are advisory until --strict: the pass is
-           young and its table grows with the model chain, so only the
-           strict (CI) mode lets it gate. *)
-        let is_unt (d : Diag.t) =
-          String.length d.Diag.rule >= 3 && String.sub d.Diag.rule 0 3 = "UNT"
+        note "lint: %s\n" (Diag.summary kept);
+        (* UNT dimensional and ALS ownership errors are advisory until
+           --strict: both passes are young and their tables grow with the
+           model chain, so only the strict (CI) mode lets them gate. *)
+        let is_advisory (d : Diag.t) =
+          String.length d.Diag.rule >= 3
+          && (String.sub d.Diag.rule 0 3 = "UNT" || String.sub d.Diag.rule 0 3 = "ALS")
         in
-        let lnt_code = Diag.exit_code (List.filter (fun d -> not (is_unt d)) kept) in
+        let lnt_code = Diag.exit_code (List.filter (fun d -> not (is_advisory d)) kept) in
         exit
           (if lnt_code <> 0 then lnt_code
            else if
@@ -1166,15 +1231,24 @@ let lint_cmd =
           dimensions lost through container round-trips (UNT005, info).  \
           Unknown dimensions never fire; $(b,[@units \"V/dec\"]) asserts a \
           deliberate cast.";
+      `P "The ALS series (on by default, $(b,--no-alias) to skip) runs an \
+          interprocedural buffer ownership/aliasing analysis over the \
+          Bigarray hot path: per-function summaries (which parameters are \
+          mutated, stored, returned) computed to fixpoint over the call \
+          graph, then checked — parallel closures mutating captured buffers \
+          (ALS001), solver scratch escaping or shared by overlapping solves \
+          (ALS002), output buffers aliasing inputs (ALS003) and returned \
+          buffers that are also retained (ALS004, $(b,[@owned]) to assert).";
       `P "Exit code 0 when no non-baselined LNT errors were found (warnings \
-          and advisory UNT errors allowed unless $(b,--strict)), 1 otherwise.  \
-          Like $(b,check) and $(b,audit), findings are structured diagnostics \
-          with registry-minted rule ids." ]
+          and advisory UNT/ALS errors allowed unless $(b,--strict)), 1 \
+          otherwise.  Like $(b,check) and $(b,audit), findings are structured \
+          diagnostics with registry-minted rule ids; $(b,--format json) \
+          emits one finding per line for the CI problem matcher." ]
   in
   Cmd.v (Cmd.info "lint" ~doc ~man)
     Term.(
-      const run $ log_term $ selftest $ strict $ units $ rules $ baseline_arg $ root_arg
-      $ update)
+      const run $ log_term $ selftest $ strict $ units $ alias $ format $ rules
+      $ baseline_arg $ root_arg $ update)
 
 let main =
   let doc = "Subthreshold device-scaling study (DAC 2007 reproduction)" in

@@ -38,8 +38,8 @@ let all () =
   entries
 
 (* A well-formed id is either kebab-case ("net-floating-node") or one of
-   the prefixed numeric series: "AUD001" (audit), "LNT001" (source lint)
-   or "UNT001" (unit inference). *)
+   the prefixed numeric series: "AUD001" (audit), "LNT001" (source lint),
+   "UNT001" (unit inference) or "ALS001" (buffer ownership/aliasing). *)
 let well_formed id =
   let kebab =
     String.length id > 0
@@ -50,7 +50,7 @@ let well_formed id =
     && String.sub id 0 3 = prefix
     && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub id 3 3)
   in
-  kebab || series "AUD" || series "LNT" || series "UNT"
+  kebab || series "AUD" || series "LNT" || series "UNT" || series "ALS"
 
 let selftest () =
   let entries = all () in

@@ -1,0 +1,20 @@
+(** ALS001-004 — interprocedural buffer ownership/aliasing analysis over
+    the Bigarray hot path.
+
+    Convicts only on positive evidence from the {!Summary} fixpoint:
+    - ALS001: a closure entering [Exec.map]/[Pool.map] mutates a flat
+      buffer rooted in a capture (directly or through resolved calls);
+    - ALS002: solver scratch escapes into long-lived state, or a parallel
+      closure reenters the solver with one shared workspace;
+    - ALS003: a call's mutated (output) buffer argument aliases another
+      argument of the same call;
+    - ALS004 (warning): a function returns a buffer it also retains;
+      [@owned] on the binding asserts deliberate sharing.
+
+    Unresolved roots and callees never fire.  Captures whose own type is
+    directly hazardous are LNT001's findings, not ALS's. *)
+
+val check : Summary.env -> source:string -> Check.Diagnostic.t list
+(** All ALS findings for the definitions recorded from [source]. *)
+
+val selftest : unit -> int

@@ -26,6 +26,9 @@ module Dimension = Dimension
 module Unit_sig = Unit_sig
 module Units = Units
 module Cmt_load = Cmt_load
+module Callgraph = Callgraph
+module Summary = Summary
+module Alias = Alias
 module Selftest = Selftest
 
 module D = Check.Diagnostic
@@ -33,8 +36,9 @@ module D = Check.Diagnostic
 type file_report = { source : string; diags : D.t list }
 
 (* The sanctioned output layers: LNT005 does not apply to the modules whose
-   whole job is producing output. *)
-let output_exempt_dirs = [ "lib/report/"; "lib/obs/" ]
+   whole job is producing output.  bin/ and bench/ are entry points — the
+   rule's own scope is "lib/ never prints directly". *)
+let output_exempt_dirs = [ "lib/report/"; "lib/obs/"; "bin/"; "bench/" ]
 
 let starts_with ~prefix s =
   String.length s >= String.length prefix
@@ -43,19 +47,27 @@ let starts_with ~prefix s =
 let exempt_output source =
   List.exists (fun prefix -> starts_with ~prefix source) output_exempt_dirs
 
-let lint_unit ?(units = true) (u : Cmt_load.unit_info) : file_report =
+(* The ALS pass needs whole-tree context: summaries of callees live in
+   other units.  [alias_env] carries the fixpoint computed once per root
+   (or once per single unit for lint_cmt). *)
+let alias_env units = Summary.compute (Callgraph.build units)
+
+let lint_unit ?(units = true) ?alias_env:env (u : Cmt_load.unit_info) : file_report =
   let source = u.Cmt_load.source in
   let diags =
     Purity.check ~source u.Cmt_load.structure
     @ Hygiene.check ~source ~exempt_output:(exempt_output source) u.Cmt_load.structure
     @ Discipline.check ~source u.Cmt_load.structure
     @ (if units then Units.check ~source u.Cmt_load.structure else [])
+    @ (match env with Some e -> Alias.check e ~source | None -> [])
   in
   { source; diags = D.sort diags }
 
-let lint_cmt ?units path =
+let lint_cmt ?units ?(alias = true) path =
   match Cmt_load.load path with
-  | Cmt_load.Unit u -> Some (lint_unit ?units u)
+  | Cmt_load.Unit u ->
+    let env = if alias then Some (alias_env [ u ]) else None in
+    Some (lint_unit ?units ?alias_env:env u)
   | Cmt_load.Skipped -> None
   | Cmt_load.Unreadable (p, msg) ->
     Some
@@ -65,9 +77,10 @@ let lint_cmt ?units path =
               (Printf.sprintf "unreadable .cmt artifact: %s" msg)
               ~hint:"stale build? re-run `dune build` and lint again" ] }
 
-let lint_root ?units:(units_on = true) root =
+let lint_root ?units:(units_on = true) ?(alias = true) root =
   let units, unreadable = Cmt_load.load_root root in
-  let reports = List.map (lint_unit ~units:units_on) units in
+  let env = if alias then Some (alias_env units) else None in
+  let reports = List.map (lint_unit ~units:units_on ?alias_env:env) units in
   let unreadable_reports =
     List.map
       (fun (p, msg) ->

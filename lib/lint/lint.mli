@@ -1,8 +1,8 @@
 (** Lint: typedtree-based source linter behind [subscale lint].
 
     Reads the .cmt artifacts dune already produces; never re-typechecks.
-    Findings are {!Check.Diagnostic}s with rule ids LNT001–LNT005 and
-    UNT001–UNT005 minted through {!Check.Rules}. *)
+    Findings are {!Check.Diagnostic}s with rule ids LNT001–LNT005,
+    UNT001–UNT005 and ALS001–ALS004 minted through {!Check.Rules}. *)
 
 module Rules = Lint_rules
 module Baseline = Baseline
@@ -13,6 +13,9 @@ module Dimension = Dimension
 module Unit_sig = Unit_sig
 module Units = Units
 module Cmt_load = Cmt_load
+module Callgraph = Callgraph
+module Summary = Summary
+module Alias = Alias
 module Selftest = Selftest
 
 type file_report = { source : string; diags : Check.Diagnostic.t list }
@@ -21,17 +24,25 @@ val exempt_output : string -> bool
 (** True for the sanctioned output layers (lib/report, lib/obs), where
     LNT005 does not apply. *)
 
-val lint_unit : ?units:bool -> Cmt_load.unit_info -> file_report
-(** Run every pass over one loaded unit; diagnostics come back sorted.
-    [units] (default true) enables the UNT dimensional-analysis pass. *)
+val alias_env : Cmt_load.unit_info list -> Summary.env
+(** The interprocedural ownership fixpoint over a set of loaded units —
+    build it once per tree and thread it to {!lint_unit}. *)
 
-val lint_cmt : ?units:bool -> string -> file_report option
+val lint_unit : ?units:bool -> ?alias_env:Summary.env -> Cmt_load.unit_info -> file_report
+(** Run every pass over one loaded unit; diagnostics come back sorted.
+    [units] (default true) enables the UNT dimensional-analysis pass;
+    passing [alias_env] enables the ALS buffer-ownership pass. *)
+
+val lint_cmt : ?units:bool -> ?alias:bool -> string -> file_report option
 (** Lint one .cmt file.  [None] when the artifact holds no implementation
     typedtree (interfaces, packed or generated modules); unreadable
-    artifacts yield a [lint-unreadable-cmt] warning report. *)
+    artifacts yield a [lint-unreadable-cmt] warning report.  [alias]
+    (default true) runs ALS with summaries from this unit alone. *)
 
-val lint_root : ?units:bool -> string -> file_report list
-(** Lint every .cmt under a directory tree (sorted by source path). *)
+val lint_root : ?units:bool -> ?alias:bool -> string -> file_report list
+(** Lint every .cmt under a directory tree (sorted by source path).
+    [alias] (default true) computes the ownership fixpoint over the whole
+    tree first, so ALS sees cross-unit call chains. *)
 
 val all_diags : file_report list -> Check.Diagnostic.t list
 

@@ -55,6 +55,25 @@ let unt005 =
   Rules.register "UNT005"
     ~summary:"dimension lost through a polymorphic container round-trip (info)"
 
+(* The ALS series: interprocedural buffer ownership/aliasing analysis over
+   the Bigarray hot path (lib/lint/alias.ml).  Same contract as UNT:
+   sound-but-conservative, unknown never fires. *)
+let als001 =
+  Rules.register "ALS001"
+    ~summary:"flat buffer reachable from a closure entering Exec.map/Pool.map is mutated"
+
+let als002 =
+  Rules.register "ALS002"
+    ~summary:"solver scratch escapes (stored long-lived) or is shared by overlapping solves"
+
+let als003 =
+  Rules.register "ALS003"
+    ~summary:"solver output buffer aliases an input buffer of the same call"
+
+let als004 =
+  Rules.register "ALS004"
+    ~summary:"function returns a buffer it also retains internally ([@owned] to assert)"
+
 (* Unreadable or truncated .cmt artifact: not a source defect, so it gets a
    kebab-case id outside the LNT series and only warns. *)
 let unreadable_cmt =
@@ -67,8 +86,10 @@ let all : meta list =
       title = "purity/race: parallel closures must not touch unsanctioned mutable state";
       fires_on =
         "a literal closure passed to `Exec.map`/`map2`/`mapi`/`map_array`/`Pool.map` that \
-         captures a `ref`/`Hashtbl.t`/`Buffer.t`/`Queue.t`/`Stack.t`, mutates a captured or \
-         global array/record field, or mutates something the pass cannot prove local";
+         captures a `ref`/`Hashtbl.t`/`Buffer.t`/`Queue.t`/`Stack.t` or a mutable flat \
+         buffer (`Fvec.t`/`Field.t`/`Bigarray.Array1.t`, solver scratch), mutates a \
+         captured or global array/record field, or mutates something the pass cannot \
+         prove local";
       stays_clean_on =
         "closures that only read immutable captures, allocate and mutate their own local \
          state, or go through the whitelisted `Exec.Memo`/`Obs` APIs (domain-safe by \
@@ -105,9 +126,10 @@ let all : meta list =
         "`print_*`/`prerr_*`/`Printf.printf`/`Printf.eprintf`/`Format.printf` in library \
          code outside the sanctioned output layers";
       stays_clean_on =
-        "`lib/report` and `lib/obs` (the output layers themselves), formatting into \
-         buffers/strings (`Printf.sprintf`, `Buffer`), and writing to an explicit \
-         caller-supplied channel" };
+        "`lib/report` and `lib/obs` (the output layers themselves), `bin/` and `bench/` \
+         (entry points print by design), formatting into buffers/strings \
+         (`Printf.sprintf`, `Buffer`), and writing to an explicit caller-supplied \
+         channel" };
     { id = unt001;
       severity = Diagnostic.Error;
       title = "dimensional analysis: additive combination of incompatible dimensions";
@@ -160,7 +182,52 @@ let all : meta list =
          site, info only)";
       stays_clean_on =
         "closures with dimensionless or unknown results, and direct (non-container) \
-         dataflow" } ]
+         dataflow" };
+    { id = als001;
+      severity = Diagnostic.Error;
+      title = "buffer ownership: no parallel mutation of captured flat buffers";
+      fires_on =
+        "a literal closure passed to `Exec.map`/`Pool.map` whose body — directly or \
+         through resolved calls, per the interprocedural summaries — mutates an \
+         `Fvec.t`/`Field.t`/`Bigarray.Array1.t` rooted in a capture (e.g. a captured \
+         record whose field is written through a helper three calls down)";
+      stays_clean_on =
+        "closures that only read captured buffers, mutate buffers they allocated \
+         themselves, or receive the buffer as their own argument; direct captures of \
+         buffer-typed values are LNT001's business" };
+    { id = als002;
+      severity = Diagnostic.Error;
+      title = "buffer ownership: solver scratch never escapes or overlaps";
+      fires_on =
+        "a `Poisson.scratch`/`Stencil5.t` workspace stored into a long-lived structure \
+         (ref, Hashtbl, record field) — escape — or mutated through a capture inside a \
+         closure entering the parallel engine, where every domain would reenter the \
+         solver with the same workspace";
+      stays_clean_on =
+        "scratch threaded linearly as arguments and return values (caller-owned, \
+         reused across *sequential* solves), and per-call workspaces allocated inside \
+         the closure" };
+    { id = als003;
+      severity = Diagnostic.Error;
+      title = "buffer ownership: solver outputs must not alias inputs";
+      fires_on =
+        "a call whose mutated (output) buffer argument provably aliases another \
+         argument of the same call — `Fvec.blit v v`, `Stencil5.mat_vec a x x`, or the \
+         same aliasing through let-bindings and field projections";
+      stays_clean_on =
+        "distinct buffers, distinct record fields of one value (`s.sys` vs `s.work`), \
+         and anything the root analysis cannot prove aliased (unknown never fires)" };
+    { id = als004;
+      severity = Diagnostic.Warning;
+      title = "buffer ownership: returned buffers are not retained";
+      fires_on =
+        "a function that returns a flat buffer it also stored into longer-lived state \
+         (a ref, container, or record field) — the caller receives a value someone \
+         else can still mutate";
+      stays_clean_on =
+        "returning freshly allocated or argument buffers without storing them, and \
+         functions annotated `[@owned]` (deliberate sharing, e.g. an interned \
+         read-only table)" } ]
 
 let severity_of_id id =
   match List.find_opt (fun m -> m.id = id) all with

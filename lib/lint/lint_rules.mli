@@ -42,6 +42,21 @@ val unt004 : string
 val unt005 : string
 (** Dimensional analysis: dimension lost through a container round-trip. *)
 
+val als001 : string
+(** Buffer ownership: parallel closure mutates a captured flat buffer. *)
+
+val als002 : string
+(** Buffer ownership: solver scratch escapes or is shared by overlapping
+    solves. *)
+
+val als003 : string
+(** Buffer ownership: solver output buffer aliases an input of the same
+    call. *)
+
+val als004 : string
+(** Buffer ownership: function returns a buffer it also retains
+    ([@owned] asserts deliberate sharing). *)
+
 val unreadable_cmt : string
 (** Infrastructure warning: a .cmt artifact could not be read. *)
 

@@ -90,6 +90,37 @@ let is_array ty =
   | Some (name, _) -> name = "array" || name = "bytes" || name = "floatarray"
   | None -> false
 
+(* --- flat-buffer classification (the TCAD hot-path state) --------------- *)
+
+(* Like [head_constr] but with dune's wrapped-library mangling undone, so
+   "Tcad__Poisson.scratch" matches a table written as "Poisson.scratch". *)
+let demangled_head ty =
+  match head_constr ty with
+  | Some (name, args) -> Some (demangle name, args)
+  | None -> None
+
+(* Caller-owned solver workspaces: one value serves a whole sweep but must
+   never be shared across concurrent domains, stored into long-lived
+   structures, or handed to two overlapping solves. *)
+let scratch_type_names = [ "Poisson.scratch"; "Stencil5.t" ]
+
+let is_scratch ty =
+  match demangled_head ty with
+  | Some (name, _) -> suffix_matches ~candidates:scratch_type_names name
+  | None -> false
+
+(* Mutable flat buffers of the Bigarray hot path.  [Array1.t] covers both
+   "Bigarray.Array1.t" and any local module shaped like it; Fvec.t/Field.t
+   are the repo's own aliases (Field.t *is* Fvec.t, and either path can
+   appear in inferred types depending on what the compiler saw first). *)
+let buffer_type_names = [ "Fvec.t"; "Field.t"; "Array1.t"; "Mask.t" ]
+
+let is_flat_buffer ty =
+  (match demangled_head ty with
+   | Some (name, _) -> suffix_matches ~candidates:buffer_type_names name
+   | None -> false)
+  || is_scratch ty
+
 (* Float-ish: float itself, or a float sitting directly inside a tuple,
    option, list or array.  Deeper nesting (records carrying floats, maps of
    floats) needs environment expansion and is out of scope — documented in

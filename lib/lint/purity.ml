@@ -6,7 +6,9 @@
    else.  The pass walks each such closure's typedtree and convicts:
 
    - captures of always-hazardous containers (ref, Hashtbl.t, Buffer.t,
-     Queue.t, Stack.t) — even a read races with a writer elsewhere;
+     Queue.t, Stack.t) and of the hot path's mutable flat buffers
+     (Fvec.t/Field.t/Bigarray.Array1.t, solver scratch) — even a read
+     races with a writer elsewhere;
    - mutations (r := v, x.f <- v, Array.set/fill/blit, Hashtbl.add/...,
      Bytes.set, instance variables) whose target is captured, global, or
      not provably a value the closure allocated itself.
@@ -97,7 +99,8 @@ let collect (lam : expression) : lambda_facts =
     (match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
      | Tpat_var (id, _), Texp_ident (p, _, vd)
        when Paths.is_mutable_container vd.Types.val_type
-            || Paths.is_array vd.Types.val_type ->
+            || Paths.is_array vd.Types.val_type
+            || Paths.is_flat_buffer vd.Types.val_type ->
        (* [let a = outer_array in ...]: a is bound, but mutating it mutates
           the aliased value — remember the chain. *)
        Hashtbl.replace facts.aliases (Ident.unique_name id) p
@@ -169,7 +172,7 @@ let judge ~source ~caller (lam : expression) : D.t list =
       (fun (p, ty, loc) ->
         let name = Paths.path_name p in
         if whitelisted name then []
-        else if not (Paths.is_mutable_container ty) then []
+        else if not (Paths.is_mutable_container ty || Paths.is_flat_buffer ty) then []
         else
           match resolve facts ~depth:0 p with
           | `Local -> []

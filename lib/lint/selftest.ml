@@ -130,7 +130,84 @@ let cases =
     ( "UNT005 near miss: dimensionless closure body",
       Lint_rules.unt005,
       false,
-      "let good (xs : float list) = List.map (fun dv -> dv *. 2.0) xs\n" ) ]
+      "let good (xs : float list) = List.map (fun dv -> dv *. 2.0) xs\n" );
+    (* The ALS crafted sources define Bigarray-backed local modules shaped
+       like the hot path (Fvec, Poisson.scratch); the interprocedural
+       summaries resolve the helpers within the unit. *)
+    ( "ALS001 closure mutates buffer via captured record and helper",
+      Lint_rules.als001,
+      true,
+      "module Exec = struct let map f xs = List.map f xs end\n\
+       type acc = { buf : (float, Bigarray.float64_elt, Bigarray.c_layout) \
+       Bigarray.Array1.t }\n\
+       let bump (a : acc) x = Bigarray.Array1.set a.buf 0 x\n\
+       let run (a : acc) xs = Exec.map (fun x -> bump a x; x) xs\n" );
+    ( "ALS001 near miss: closure-local buffer",
+      Lint_rules.als001,
+      false,
+      "module Exec = struct let map f xs = List.map f xs end\n\
+       type acc = { buf : (float, Bigarray.float64_elt, Bigarray.c_layout) \
+       Bigarray.Array1.t }\n\
+       let bump (a : acc) x = Bigarray.Array1.set a.buf 0 x\n\
+       let run xs =\n\
+      \  Exec.map\n\
+      \    (fun x ->\n\
+      \      let a = { buf = Bigarray.Array1.create Bigarray.float64 \
+       Bigarray.c_layout 4 } in\n\
+      \      bump a x; x)\n\
+      \    xs\n" );
+    ( "ALS002 scratch stored into a long-lived ref",
+      Lint_rules.als002,
+      true,
+      "module Poisson = struct\n\
+      \  type scratch = { sys : (float, Bigarray.float64_elt, Bigarray.c_layout) \
+       Bigarray.Array1.t }\n\
+       end\n\
+       let cache : Poisson.scratch option ref = ref None\n\
+       let stash (s : Poisson.scratch) = cache := Some s\n" );
+    ( "ALS002 near miss: scratch threaded sequentially",
+      Lint_rules.als002,
+      false,
+      "module Poisson = struct\n\
+      \  type scratch = { sys : (float, Bigarray.float64_elt, Bigarray.c_layout) \
+       Bigarray.Array1.t }\n\
+      \  let relax (s : scratch) = Bigarray.Array1.set s.sys 0 1.0\n\
+       end\n\
+       let sweep (s : Poisson.scratch) = Poisson.relax s; Poisson.relax s\n" );
+    ( "ALS003 blit with aliasing src and dst",
+      Lint_rules.als003,
+      true,
+      "module Fvec = struct\n\
+      \  type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t\n\
+      \  let blit (src : t) (dst : t) = Bigarray.Array1.blit src dst\n\
+       end\n\
+       let refresh (v : Fvec.t) = Fvec.blit v v\n" );
+    ( "ALS003 near miss: distinct buffers",
+      Lint_rules.als003,
+      false,
+      "module Fvec = struct\n\
+      \  type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t\n\
+      \  let blit (src : t) (dst : t) = Bigarray.Array1.blit src dst\n\
+       end\n\
+       let refresh (src : Fvec.t) (dst : Fvec.t) = Fvec.blit src dst\n" );
+    ( "ALS004 returned buffer also retained in a ref",
+      Lint_rules.als004,
+      true,
+      "let last : (float, Bigarray.float64_elt, Bigarray.c_layout) \
+       Bigarray.Array1.t option ref = ref None\n\
+       let make n =\n\
+      \  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in\n\
+      \  last := Some v;\n\
+      \  v\n" );
+    ( "ALS004 near miss: [@owned] asserts deliberate sharing",
+      Lint_rules.als004,
+      false,
+      "let last : (float, Bigarray.float64_elt, Bigarray.c_layout) \
+       Bigarray.Array1.t option ref = ref None\n\
+       let[@owned] make n =\n\
+      \  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in\n\
+      \  last := Some v;\n\
+      \  v\n" ) ]
 
 let make_temp_dir () =
   let path = Filename.temp_file "subscale_lint_selftest" "" in
@@ -156,12 +233,16 @@ let lint_snippet ~dir ~index source =
   else
     match Cmt_load.load (Filename.concat dir (base ^ ".cmt")) with
     | Cmt_load.Unit u ->
+      (* single-unit ownership fixpoint: the crafted sources define their
+         helpers locally, so ALS summaries resolve within the unit *)
+      let alias_env = Summary.compute (Callgraph.build [ u ]) in
       Ok
         (Purity.check ~source:u.Cmt_load.source u.Cmt_load.structure
          @ Hygiene.check ~source:u.Cmt_load.source ~exempt_output:false
              u.Cmt_load.structure
          @ Discipline.check ~source:u.Cmt_load.source u.Cmt_load.structure
-         @ Units.check ~source:u.Cmt_load.source u.Cmt_load.structure)
+         @ Units.check ~source:u.Cmt_load.source u.Cmt_load.structure
+         @ Alias.check alias_env ~source:u.Cmt_load.source)
     | Cmt_load.Skipped -> Error "crafted cmt skipped"
     | Cmt_load.Unreadable (_, msg) -> Error ("crafted cmt unreadable: " ^ msg)
 

@@ -1,0 +1,394 @@
+(* Per-function ownership summaries for the ALS pass.
+
+   For every definition in the {!Callgraph} the fixpoint computes, per
+   parameter: is it mutated (written through a buffer primitive or passed
+   to a callee that mutates that position), stored (escapes into a ref,
+   record field, container, or a callee that stores it), or returned
+   (aliases the function's result).  Summaries propagate through the call
+   graph until stable, so `Poisson.solve` inherits "scratch is mutated"
+   from `Stencil5.set_row`'s Bigarray writes three calls down.
+
+   The same module exposes the {!Flow} machinery the checking pass reuses:
+   an alias context per definition and [roots] — which values an
+   expression can alias, tracked through let-chains, field projections,
+   single-argument constructors and callees that return a parameter.
+
+   Everything unresolved is effect-free/rootless: a missed summary can
+   silence a finding but never invent one (the UNT "unknown never fires"
+   contract). *)
+
+open Typedtree
+
+type effect_ = { mutated : bool; buffer_mut : bool; stored : bool; returned : bool }
+(* [buffer_mut]: the mutation evidence bottoms out in a flat-buffer
+   primitive (Bigarray/Fvec/Stencil5), not a classic container — the ALS
+   pass convicts on buffer-flavored evidence only, so container races stay
+   LNT001's business. *)
+
+let no_effect = { mutated = false; buffer_mut = false; stored = false; returned = false }
+
+type fsum = { fdef : Callgraph.def; effects : effect_ array }
+
+type env = { cg : Callgraph.t; sums : (string, fsum) Hashtbl.t }
+
+(* --- the primitive effect table ----------------------------------------- *)
+
+type slot = Pos of int | Lab of string
+
+type call_effects = {
+  ce_mutated : slot list;
+  ce_buffer_mutated : slot list;  (* subset of [ce_mutated]: buffer-flavored *)
+  ce_stored : slot list;
+  ce_returns : slot option;       (* the result aliases this argument *)
+}
+
+(* Known in-place primitives of the hot path (and the classic containers),
+   matched by path suffix so fixture-local modules with the same shape
+   take the same route as the real libraries.  Positions count
+   unlabelled arguments only; labelled arguments are named. *)
+let buffer_ce mutated =
+  { ce_mutated = mutated; ce_buffer_mutated = mutated; ce_stored = []; ce_returns = None }
+
+let container_ce ~mutated ~stored =
+  { ce_mutated = mutated; ce_buffer_mutated = []; ce_stored = stored; ce_returns = None }
+
+let primitive_effects =
+  [ (* dst-mutating buffer writes *)
+    ( [ "Fvec.set"; "Fvec.unsafe_set"; "Fvec.fill";
+        "Field.set"; "Field.fill"; "Mask.set";
+        "Array1.set"; "Array1.unsafe_set"; "Array1.fill";
+        "Stencil5.set"; "Stencil5.add"; "Stencil5.set_row"; "Stencil5.clear" ],
+      buffer_ce [ Pos 0 ] );
+    (* blit: source read, destination written *)
+    ( [ "Fvec.blit"; "Field.blit"; "Array1.blit" ], buffer_ce [ Pos 1 ] );
+    (* banded solve: LU workspace inside the system plus the labelled dst *)
+    ( [ "Stencil5.solve" ], buffer_ce [ Pos 0; Lab "dst" ] );
+    ( [ "Stencil5.mat_vec" ], buffer_ce [ Pos 2 ] );
+    (* identity-shaped guards: the result aliases the checked buffer *)
+    ( [ "Guard.fvec" ],
+      { ce_mutated = []; ce_buffer_mutated = []; ce_stored = [];
+        ce_returns = Some (Pos 0) } );
+    (* classic containers: target mutated, payload stored — never
+       buffer-flavored, so container races stay LNT001's business *)
+    ( [ ":=" ], container_ce ~mutated:[ Pos 0 ] ~stored:[ Pos 1 ] );
+    ( [ "Hashtbl.add"; "Hashtbl.replace" ],
+      container_ce ~mutated:[ Pos 0 ] ~stored:[ Pos 2 ] );
+    ( [ "Array.set"; "Array.unsafe_set" ],
+      container_ce ~mutated:[ Pos 0 ] ~stored:[ Pos 2 ] );
+    ( [ "Queue.push"; "Queue.add"; "Stack.push" ],
+      container_ce ~mutated:[ Pos 1 ] ~stored:[ Pos 0 ] ) ]
+
+let primitive_call_effects name =
+  List.find_map
+    (fun (candidates, ce) ->
+      if Paths.suffix_matches ~candidates name then Some ce else None)
+    primitive_effects
+
+(* Slot of a parameter in its definition's calling convention: unlabelled
+   parameters by position among unlabelled parameters, labelled ones by
+   name. *)
+let slot_of_param (params : Callgraph.param list) index =
+  match (List.nth params index).Callgraph.p_label with
+  | Asttypes.Nolabel ->
+    let pos = ref 0 in
+    let rec count i = function
+      | [] -> !pos
+      | (p : Callgraph.param) :: rest ->
+        if i = index then !pos
+        else begin
+          (if p.Callgraph.p_label = Asttypes.Nolabel then incr pos);
+          count (i + 1) rest
+        end
+    in
+    Pos (count 0 params)
+  | Asttypes.Labelled l | Asttypes.Optional l -> Lab l
+
+let call_effects_of_sum (s : fsum) : call_effects =
+  let params = s.fdef.Callgraph.params in
+  let slots pred =
+    Array.to_list
+      (Array.mapi (fun i e -> if pred e then Some (slot_of_param params i) else None)
+         s.effects)
+    |> List.filter_map Fun.id
+  in
+  let returns =
+    match
+      Array.to_list (Array.mapi (fun i e -> if e.returned then Some i else None) s.effects)
+      |> List.filter_map Fun.id
+    with
+    | [ i ] -> Some (slot_of_param params i)
+    | _ -> None  (* none, or ambiguous — claim nothing *)
+  in
+  { ce_mutated = slots (fun e -> e.mutated);
+    ce_buffer_mutated = slots (fun e -> e.buffer_mut);
+    ce_stored = slots (fun e -> e.stored);
+    ce_returns = returns }
+
+(* Effects of a call through an applied path: the primitive table first
+   (exact semantics for Bigarray and friends), then the fixpoint summary
+   of a resolved definition. *)
+let call_effects env ~current_unit (p : Path.t) : call_effects option =
+  let name = Paths.path_name p in
+  match primitive_call_effects name with
+  | Some ce -> Some ce
+  | None ->
+    (match Callgraph.find ~current_unit env.cg p with
+     | Some d ->
+       (match Hashtbl.find_opt env.sums d.Callgraph.qname with
+        | Some s -> Some (call_effects_of_sum s)
+        | None -> None)
+     | None -> None)
+
+(* Match call-site arguments against effect slots. *)
+let actual_of_slot (args : (Asttypes.arg_label * expression option) list) slot =
+  match slot with
+  | Pos i ->
+    let positional =
+      List.filter_map
+        (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+        args
+    in
+    List.nth_opt positional i
+  | Lab l ->
+    List.find_map
+      (function
+        | (Asttypes.Labelled l' | Asttypes.Optional l'), Some a when l' = l -> Some a
+        | _ -> None)
+      args
+
+(* --- alias/root tracking ------------------------------------------------ *)
+
+module Flow = struct
+  type base =
+    | Param of int            (* parameter of the enclosing definition *)
+    | Local of string         (* Ident.unique_name bound in the definition *)
+    | Outer of string         (* module-level value or capture from outside *)
+
+  type root = { base : base; rev_fields : string list }
+      (* [rev_fields]: the field-projection trail, innermost first —
+         [s.sys] roots at [s] with trail ["sys"].  Two roots alias when
+         their bases agree and one trail is a suffix-extension of the
+         other; diverging trails ([s.sys] vs [s.work]) do not. *)
+
+  type ctx = {
+    env : env;
+    current_unit : string;
+    params : (string, int) Hashtbl.t;   (* unique_name -> param index *)
+    bound : (string, unit) Hashtbl.t;   (* every pattern ident in the def *)
+    aliases : (string, expression) Hashtbl.t;  (* let x = <expr> *)
+  }
+
+  let base_ident = function Local s -> Some s | Param _ | Outer _ -> None
+
+  let same_base a b =
+    match (a, b) with
+    | Param i, Param j -> i = j
+    | Local x, Local y | Outer x, Outer y -> String.equal x y
+    | _ -> false
+
+  (* Aliasing of two projection trails off one base: equal, or one extends
+     the other (the whole of [s] overlaps [s.sys]). *)
+  let overlapping_roots a b =
+    same_base a.base b.base
+    &&
+    let rec suffix xs ys =
+      (* does [xs] end with [ys]? trails are innermost-first, so extension
+         means one reversed list is a prefix of the other *)
+      let la = List.length xs and lb = List.length ys in
+      if la < lb then suffix ys xs
+      else
+        let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+        drop (la - lb) xs = ys
+    in
+    suffix a.rev_fields b.rev_fields
+
+  (* Pass 1 over a definition: record every bound ident and every simple
+     [let x = e] alias, so root resolution is order-independent (the same
+     collect-then-judge shape as the purity pass). *)
+  let ctx_of_def env (d : Callgraph.def) : ctx =
+    let ctx =
+      { env;
+        current_unit = d.Callgraph.unit_module;
+        params = Hashtbl.create 8;
+        bound = Hashtbl.create 64;
+        aliases = Hashtbl.create 16 }
+    in
+    List.iteri
+      (fun i (p : Callgraph.param) ->
+        List.iter
+          (fun id -> Hashtbl.replace ctx.params (Ident.unique_name id) i)
+          p.Callgraph.p_idents)
+      d.Callgraph.params;
+    let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+      fun it p ->
+      List.iter
+        (fun id -> Hashtbl.replace ctx.bound (Ident.unique_name id) ())
+        (pat_bound_idents p);
+      Tast_iterator.default_iterator.pat it p
+    in
+    let value_binding it vb =
+      (match vb.vb_pat.pat_desc with
+       | Tpat_var (id, _) ->
+         Hashtbl.replace ctx.aliases (Ident.unique_name id) vb.vb_expr
+       | _ -> ());
+      Tast_iterator.default_iterator.value_binding it vb
+    in
+    let it = { Tast_iterator.default_iterator with pat; value_binding } in
+    List.iter (fun vb -> it.value_binding it vb) d.Callgraph.prelude;
+    it.expr it d.Callgraph.body;
+    ctx
+
+  let rec roots ?(depth = 0) ctx (e : expression) : root list =
+    if depth > 8 then []
+    else
+      let again e' = roots ~depth:(depth + 1) ctx e' in
+      match e.exp_desc with
+      | Texp_ident (Path.Pident id, _, _) ->
+        let key = Ident.unique_name id in
+        (match Hashtbl.find_opt ctx.params key with
+         | Some i -> [ { base = Param i; rev_fields = [] } ]
+         | None ->
+           (match Hashtbl.find_opt ctx.aliases key with
+            | Some rhs ->
+              (match again rhs with
+               | [] ->
+                 if Hashtbl.mem ctx.bound key then
+                   [ { base = Local key; rev_fields = [] } ]
+                 else [ { base = Outer key; rev_fields = [] } ]
+               | rs -> rs)
+            | None ->
+              if Hashtbl.mem ctx.bound key then
+                [ { base = Local key; rev_fields = [] } ]
+              else [ { base = Outer key; rev_fields = [] } ]))
+      | Texp_ident (p, _, _) -> [ { base = Outer (Paths.path_name p); rev_fields = [] } ]
+      | Texp_field (inner, _, lbl) ->
+        List.map
+          (fun r -> { r with rev_fields = lbl.Types.lbl_name :: r.rev_fields })
+          (again inner)
+      | Texp_construct (_, _, [ inner ]) -> again inner
+      | Texp_apply (fn, args) ->
+        (match Paths.applied_path fn with
+         | None -> []
+         | Some p ->
+           (match call_effects ctx.env ~current_unit:ctx.current_unit p with
+            | Some { ce_returns = Some slot; _ } ->
+              (match actual_of_slot args slot with
+               | Some a -> again a
+               | None -> [])
+            | _ -> []))
+      | Texp_ifthenelse (_, a, Some b) -> again a @ again b
+      | Texp_ifthenelse (_, a, None) -> again a
+      | Texp_sequence (_, b) | Texp_let (_, _, b) -> again b
+      | _ -> []
+
+  (* Result expressions of a body: tail positions, flattened one level
+     through constructors/tuples/records so [Some v] and [{ f = v }]
+     count as returning [v]. *)
+  let rec tails (e : expression) : expression list =
+    match e.exp_desc with
+    | Texp_let (_, _, b) | Texp_sequence (_, b) -> tails b
+    | Texp_ifthenelse (_, a, Some b) -> tails a @ tails b
+    | Texp_ifthenelse (_, a, None) -> tails a
+    | Texp_match (_, cases, _) -> List.concat_map (fun c -> tails c.c_rhs) cases
+    | Texp_try (b, cases) -> tails b @ List.concat_map (fun c -> tails c.c_rhs) cases
+    | Texp_construct (_, _, args) -> e :: List.concat_map tails args
+    | Texp_tuple comps -> e :: List.concat_map tails comps
+    | Texp_record { fields; _ } ->
+      e
+      :: (Array.to_list fields
+          |> List.concat_map (function
+               | _, Overridden (_, fe) -> tails fe
+               | _, Kept _ -> []))
+    | _ -> [ e ]
+end
+
+(* --- effect collection + fixpoint --------------------------------------- *)
+
+(* One pass over a definition with the current summaries: which parameters
+   are mutated / stored / returned. *)
+let collect_effects env (d : Callgraph.def) : effect_ array =
+  let n = List.length d.Callgraph.params in
+  let effects = Array.make n no_effect in
+  let ctx = Flow.ctx_of_def env d in
+  let mark f roots =
+    List.iter
+      (fun (r : Flow.root) ->
+        match r.Flow.base with
+        | Flow.Param i when i < n -> effects.(i) <- f effects.(i)
+        | _ -> ())
+      roots
+  in
+  let mark_mutated = mark (fun e -> { e with mutated = true }) in
+  let mark_buffer_mut = mark (fun e -> { e with buffer_mut = true }) in
+  let mark_stored = mark (fun e -> { e with stored = true }) in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+     | Texp_apply (fn, args) ->
+       (match Paths.applied_path fn with
+        | None -> ()
+        | Some p ->
+          (match call_effects env ~current_unit:ctx.Flow.current_unit p with
+           | None -> ()
+           | Some ce ->
+             let over slots f =
+               List.iter
+                 (fun slot ->
+                   match actual_of_slot args slot with
+                   | Some a -> f (Flow.roots ctx a)
+                   | None -> ())
+                 slots
+             in
+             over ce.ce_mutated mark_mutated;
+             over ce.ce_buffer_mutated mark_buffer_mut;
+             over ce.ce_stored mark_stored))
+     | Texp_setfield (target, _, _, v) ->
+       mark_mutated (Flow.roots ctx target);
+       mark_stored (Flow.roots ctx v)
+     | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  List.iter (fun vb -> it.expr it vb.vb_expr) d.Callgraph.prelude;
+  it.expr it d.Callgraph.body;
+  List.iter
+    (fun t -> mark (fun e -> { e with returned = true }) (Flow.roots ctx t))
+    (Flow.tails d.Callgraph.body);
+  effects
+
+let equal_effects a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (x : effect_) y -> x = y) a b
+
+(* Fixpoint over the whole call graph.  Effects only ever turn on, so the
+   iteration is monotone; the round cap is a backstop for call chains
+   deeper than anything in this repository. *)
+let max_rounds = 12
+
+let compute (cg : Callgraph.t) : env =
+  let env = { cg; sums = Hashtbl.create 256 } in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      Hashtbl.replace env.sums d.Callgraph.qname
+        { fdef = d; effects = Array.make (List.length d.Callgraph.params) no_effect })
+    (Callgraph.defs cg);
+  let rec iterate round =
+    let changed = ref false in
+    List.iter
+      (fun (d : Callgraph.def) ->
+        let fresh = collect_effects env d in
+        match Hashtbl.find_opt env.sums d.Callgraph.qname with
+        | Some prev when equal_effects prev.effects fresh -> ()
+        | _ ->
+          changed := true;
+          Hashtbl.replace env.sums d.Callgraph.qname { fdef = d; effects = fresh })
+      (Callgraph.defs cg);
+    if !changed && round < max_rounds then iterate (round + 1)
+  in
+  iterate 1;
+  env
+
+let find_sum env qname = Hashtbl.find_opt env.sums qname
+
+let callgraph env = env.cg
+
+let selftest () = List.length primitive_effects

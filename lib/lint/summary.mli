@@ -1,0 +1,85 @@
+(** Interprocedural ownership summaries for the ALS pass.
+
+    A fixpoint over the {!Callgraph} computes, per function parameter,
+    whether it is mutated, stored (escapes into a ref / field / container),
+    or returned (aliases the result) — seeded by a primitive table for the
+    Bigarray/Fvec/Stencil5 hot-path operations and propagated through
+    resolved calls.  Unresolved callees are effect-free: a missing summary
+    can silence a finding but never invent one. *)
+
+type effect_ = { mutated : bool; buffer_mut : bool; stored : bool; returned : bool }
+(** [buffer_mut]: the mutation evidence bottoms out in a flat-buffer
+    primitive (Bigarray/Fvec/Stencil5) rather than a classic container —
+    the ALS pass convicts on buffer-flavored evidence only. *)
+
+type fsum = { fdef : Callgraph.def; effects : effect_ array }
+(** One effect per parameter, in currying order. *)
+
+type env
+
+type slot = Pos of int | Lab of string
+(** Argument slot in a calling convention: position among the unlabelled
+    arguments, or a label name. *)
+
+type call_effects = {
+  ce_mutated : slot list;
+  ce_buffer_mutated : slot list;  (** subset of [ce_mutated]: buffer-flavored *)
+  ce_stored : slot list;
+  ce_returns : slot option;       (** the result aliases this argument *)
+}
+
+val compute : Callgraph.t -> env
+(** Run the fixpoint over every definition in the graph. *)
+
+val find_sum : env -> string -> fsum option
+(** Summary for a qualified definition name ("Poisson.solve"). *)
+
+val callgraph : env -> Callgraph.t
+(** The graph the summaries were computed over. *)
+
+val call_effects : env -> current_unit:string -> Path.t -> call_effects option
+(** Effects of calling the named function: the primitive table first, then
+    the computed summary of a resolved definition, else [None]. *)
+
+val actual_of_slot :
+  (Asttypes.arg_label * Typedtree.expression option) list ->
+  slot ->
+  Typedtree.expression option
+(** The call-site argument occupying a slot, if supplied. *)
+
+(** Root/alias tracking over one definition's body, shared with the
+    checking pass. *)
+module Flow : sig
+  type base =
+    | Param of int     (** parameter of the enclosing definition *)
+    | Local of string  (** [Ident.unique_name] bound inside the definition *)
+    | Outer of string  (** module-level value or capture from outside *)
+
+  type root = { base : base; rev_fields : string list }
+  (** A value's origin plus its field-projection trail (innermost first):
+      [s.sys] roots at [s] with trail [["sys"]]. *)
+
+  type ctx
+
+  val ctx_of_def : env -> Callgraph.def -> ctx
+  (** Collect the definition's bound idents and [let x = e] aliases so
+      root resolution is order-independent. *)
+
+  val roots : ?depth:int -> ctx -> Typedtree.expression -> root list
+  (** What an expression can alias, through let-chains, field projections,
+      single-argument constructors, and callees known to return an
+      argument.  Unknown shapes yield []. *)
+
+  val base_ident : base -> string option
+  (** The unique name of a [Local] base. *)
+
+  val overlapping_roots : root -> root -> bool
+  (** Same base and one projection trail extends the other: [s] overlaps
+      [s.sys]; [s.sys] does not overlap [s.work]. *)
+
+  val tails : Typedtree.expression -> Typedtree.expression list
+  (** Result expressions of a body: tail positions flattened through
+      constructors, tuples and records. *)
+end
+
+val selftest : unit -> int

@@ -28,7 +28,10 @@ type t = {
 }
 
 let create ~n ~m =
-  if n <= 0 || m < 1 || m >= n then invalid_arg "Stencil5.create";
+  if n <= 0 || m < 1 || m >= n then
+    invalid_arg
+      (Printf.sprintf "Stencil5.create: invalid shape n=%d m=%d (need n > 0 and 1 <= m < n)"
+         n m);
   {
     n;
     m;
@@ -111,14 +114,19 @@ let solve a ~dst =
   let { n; m; dl2; dl1; d0; du1; du2; rhs; band } = a in
   let w = (2 * m) + 1 in
   Fvec.fill band 0.0;
+  (* band.(i*w + (j - i + m)) = A(i, j).  Off-diagonals accumulate instead
+     of assign: when m = 1 (a single-row mesh) the +-1 and +-m diagonals
+     coincide, and [mat_vec] sums them — plain assignment would silently
+     drop whichever was expanded first.  The band is zero-filled, so for
+     m > 1 accumulation is the same stores as before. *)
+  let acc i v = BA1.unsafe_set band i (BA1.unsafe_get band i +. v) in
   for i = 0 to n - 1 do
     let base = (i * w) + m in
-    (* band.(i*w + (j - i + m)) = A(i, j) *)
-    if i >= m then BA1.unsafe_set band (base - m) (BA1.unsafe_get dl2 i);
-    if i >= 1 then BA1.unsafe_set band (base - 1) (BA1.unsafe_get dl1 i);
+    if i >= m then acc (base - m) (BA1.unsafe_get dl2 i);
+    if i >= 1 then acc (base - 1) (BA1.unsafe_get dl1 i);
     BA1.unsafe_set band base (BA1.unsafe_get d0 i);
-    if i + 1 < n then BA1.unsafe_set band (base + 1) (BA1.unsafe_get du1 i);
-    if i + m < n then BA1.unsafe_set band (base + m) (BA1.unsafe_get du2 i)
+    if i + 1 < n then acc (base + 1) (BA1.unsafe_get du1 i);
+    if i + m < n then acc (base + m) (BA1.unsafe_get du2 i)
   done;
   Fvec.blit rhs dst;
   for k = 0 to n - 1 do

@@ -42,7 +42,10 @@ let solve ?recombination ?scratch dev ~carrier ~biases ~psi =
   let mesh = dev.Structure.mesh in
   let nx = mesh.Mesh.nx and ny = mesh.Mesh.ny in
   let n_nodes = nx * ny in
-  if Field.length psi <> n_nodes then invalid_arg "Continuity.solve: psi length mismatch";
+  if Field.length psi <> n_nodes then
+    invalid_arg
+      (Printf.sprintf "Continuity.solve: psi length mismatch (psi has %d, %dx%d mesh needs %d)"
+         (Field.length psi) nx ny n_nodes);
   let hx = mesh.Mesh.hx and hy = mesh.Mesh.hy in
   let wxs = mesh.Mesh.wx and wys = mesh.Mesh.wy in
   let vt = dev.Structure.vt and ni = dev.Structure.ni in
@@ -58,7 +61,14 @@ let solve ?recombination ?scratch dev ~carrier ~biases ~psi =
       if
         Numerics.Stencil5.order s.Poisson.sys <> n_nodes
         || Numerics.Stencil5.offset s.Poisson.sys <> ny
-      then invalid_arg "Continuity.solve: scratch shape mismatch";
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Continuity.solve: scratch shape mismatch (scratch is order %d offset %d, \
+              %dx%d mesh needs order %d offset %d)"
+             (Numerics.Stencil5.order s.Poisson.sys)
+             (Numerics.Stencil5.offset s.Poisson.sys)
+             nx ny n_nodes ny);
       s.Poisson.sys
     | None -> Numerics.Stencil5.create ~n:n_nodes ~m:ny
   in

@@ -49,12 +49,22 @@ let solve ?(tol = 1e-9) ?(max_iter = 80) ?(quiet = false) ?scratch dev ~biases ~
   let nx = mesh.Mesh.nx and ny = mesh.Mesh.ny in
   let n = nx * ny in
   if Field.length psi0 <> n || Field.length phi_n <> n || Field.length phi_p <> n then
-    invalid_arg "Poisson.solve: state length mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Poisson.solve: state length mismatch (psi0 %d, phi_n %d, phi_p %d; %dx%d mesh \
+          needs %d)"
+         (Field.length psi0) (Field.length phi_n) (Field.length phi_p) nx ny n);
   let { sys = a; work = dpsi } =
     match scratch with
     | Some s ->
       if Numerics.Stencil5.order s.sys <> n || Numerics.Stencil5.offset s.sys <> ny then
-        invalid_arg "Poisson.solve: scratch shape mismatch";
+        invalid_arg
+          (Printf.sprintf
+             "Poisson.solve: scratch shape mismatch (scratch is order %d offset %d, \
+              %dx%d mesh needs order %d offset %d)"
+             (Numerics.Stencil5.order s.sys)
+             (Numerics.Stencil5.offset s.sys)
+             nx ny n ny);
       s
     | None -> make_scratch dev
   in

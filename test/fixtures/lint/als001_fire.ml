@@ -1,0 +1,14 @@
+(* ALS001 fixture: a closure entering the parallel engine mutates a flat
+   buffer it can only reach through a capture — not directly (that would
+   be LNT001's finding) but through a captured record and a helper, which
+   only the interprocedural summaries can see. *)
+
+module Exec = struct
+  let map f xs = List.map f xs
+end
+
+type acc = { buf : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t }
+
+let bump (a : acc) x = Bigarray.Array1.set a.buf 0 x
+
+let run (a : acc) xs = Exec.map (fun x -> bump a x; x) xs

@@ -1,0 +1,20 @@
+(* ALS002 fixture, reentrancy shape: a parallel closure reenters the
+   solver with one shared workspace — every domain would relax into the
+   same scratch.  (The escape shape — scratch stored into a ref — is
+   covered by the selftest's crafted source.) *)
+
+module Exec = struct
+  let map f xs = List.map f xs
+end
+
+module Poisson = struct
+  type scratch = {
+    sys : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  }
+
+  let relax (s : scratch) = Bigarray.Array1.set s.sys 0 1.0
+end
+
+type state = { scr : Poisson.scratch }
+
+let sweep (st : state) xs = Exec.map (fun x -> Poisson.relax st.scr; x) xs

@@ -1,0 +1,10 @@
+(* ALS003 fixture: a call whose mutated (output) buffer argument aliases
+   an input of the same call — blitting a vector onto itself. *)
+
+module Fvec = struct
+  type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let blit (src : t) (dst : t) = Bigarray.Array1.blit src dst
+end
+
+let refresh (v : Fvec.t) = Fvec.blit v v

@@ -1,0 +1,10 @@
+(* ALS004 fixture: a function returns a buffer it also retains — the
+   caller receives a value someone else can still mutate. *)
+
+let last : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t option ref =
+  ref None
+
+let make n =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+  last := Some v;
+  v

@@ -1,5 +1,5 @@
-(* lib/lint: the fixture corpus (per LNT/UNT rule one firing source and
-   one near miss, compiled to .cmt by test/fixtures/lint/dune), .cmt
+(* lib/lint: the fixture corpus (per LNT/UNT/ALS rule one firing source
+   and one near miss, compiled to .cmt by test/fixtures/lint/dune), .cmt
    discovery across dune contexts, baseline round-trips, and the
    rule-registry integration. *)
 
@@ -105,6 +105,38 @@ let corpus_tests =
           (fires "unt005_fire" LR.unt005));
     u "UNT005 stays silent on a dimensionless closure body" (fun () ->
         clean "unt005_clean");
+    u "ALS001 fires as an error on a capture-rooted mutation through a helper"
+      (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Error then
+              Alcotest.failf "ALS001 must be an error, got: %s" (Diag.to_string d))
+          (fires "als001_fire" LR.als001));
+    u "ALS001 accepts a closure-local buffer through the same helper" (fun () ->
+        clean "als001_clean");
+    u "ALS002 fires on a parallel closure reentering the solver with shared scratch"
+      (fun () -> ignore (fires "als002_fire" LR.als002));
+    u "ALS002 accepts scratch threaded through sequential solves" (fun () ->
+        clean "als002_clean");
+    u "ALS003 fires on a blit whose output aliases its input" (fun () ->
+        ignore (fires "als003_fire" LR.als003));
+    u "ALS003 accepts physically distinct buffers" (fun () -> clean "als003_clean");
+    u "ALS004 warns on a returned buffer that is also retained" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Warning then
+              Alcotest.failf "ALS004 must be a warning, got: %s" (Diag.to_string d))
+          (fires "als004_fire" LR.als004));
+    u "ALS004 accepts [@owned] as a deliberate-sharing assertion" (fun () ->
+        clean "als004_clean");
+    u "--no-alias silences the ALS corpus entirely" (fun () ->
+        let path = Filename.concat fixture_dir "als003_fire.cmt" in
+        match Lint.lint_cmt ~alias:false path with
+        | Some r when r.Lint.diags = [] -> ()
+        | Some r ->
+          Alcotest.failf "expected clean without the alias pass, got [%s]"
+            (String.concat "; " (List.map Diag.to_string r.Lint.diags))
+        | None -> Alcotest.fail "fixture lost its typedtree");
     u "--no-units silences the UNT corpus entirely" (fun () ->
         let path = Filename.concat fixture_dir "unt001_fire.cmt" in
         match Lint.lint_cmt ~units:false path with
@@ -116,8 +148,8 @@ let corpus_tests =
     u "lint_root scans the corpus in sorted order" (fun () ->
         let reports = Lint.lint_root fixture_dir in
         let sources = List.map (fun r -> r.Lint.source) reports in
-        if List.length sources < 20 then
-          Alcotest.failf "expected >= 20 fixture units, got %d" (List.length sources);
+        if List.length sources < 28 then
+          Alcotest.failf "expected >= 28 fixture units, got %d" (List.length sources);
         if sources <> List.sort String.compare sources then
           Alcotest.fail "lint_root reports are not sorted by source");
   ]
@@ -286,7 +318,7 @@ let baseline_tests =
 
 let registry_tests =
   [
-    u "every LNT and UNT rule is registered with the expected severity" (fun () ->
+    u "every LNT, UNT and ALS rule is registered with the expected severity" (fun () ->
         List.iter
           (fun (id, sev) ->
             match LR.find id with
@@ -304,6 +336,10 @@ let registry_tests =
             (LR.unt003, Diag.Warning);
             (LR.unt004, Diag.Error);
             (LR.unt005, Diag.Info);
+            (LR.als001, Diag.Error);
+            (LR.als002, Diag.Error);
+            (LR.als003, Diag.Error);
+            (LR.als004, Diag.Warning);
           ]);
     u "--rules markdown names every rule id" (fun () ->
         let md = Lint.rules_markdown () in

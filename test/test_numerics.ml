@@ -227,6 +227,21 @@ let fvec_tests =
         let v = Fvec.of_array a in
         let w = Fvec.map (fun x -> x +. 0.5) v in
         Float.abs (Fvec.max_abs_diff v w -. 0.5) < 1e-12);
+    u "zero-length vectors are well-behaved everywhere" (fun () ->
+        let z = Fvec.create 0 in
+        Alcotest.(check int) "length" 0 (Fvec.length z);
+        Alcotest.(check (array (float 0.0))) "to_array" [||] (Fvec.to_array z);
+        let z' = Fvec.of_array [||] in
+        Fvec.blit z z';
+        Fvec.fill z' 1.0;
+        Alcotest.(check bool) "for_all vacuous" true (Fvec.for_all (fun _ -> false) z);
+        Test_util.check_float "empty inf-norm" 0.0 (Fvec.max_abs_diff z z');
+        Alcotest.(check int) "copy/map stay empty" 0
+          (Fvec.length (Fvec.map (fun x -> x) (Fvec.copy z))));
+    u "max_abs_diff names both lengths on a mismatch" (fun () ->
+        Alcotest.check_raises "mismatch"
+          (Invalid_argument "Fvec.max_abs_diff: length mismatch (2 vs 3)") (fun () ->
+            ignore (Fvec.max_abs_diff (Fvec.create 2) (Fvec.create 3))));
   ]
 
 (* A random diagonally dominant pentadiagonal system with the +-1/+-m
@@ -260,9 +275,45 @@ let assemble_pair ~n ~m off =
 
 let stencil5_tests =
   [
-    u "create validates the shape" (fun () ->
-        Alcotest.check_raises "m >= n" (Invalid_argument "Stencil5.create") (fun () ->
-            ignore (Stencil5.create ~n:3 ~m:3)));
+    u "create validates the shape and names the offending dims" (fun () ->
+        Alcotest.check_raises "m >= n"
+          (Invalid_argument
+             "Stencil5.create: invalid shape n=3 m=3 (need n > 0 and 1 <= m < n)")
+          (fun () -> ignore (Stencil5.create ~n:3 ~m:3));
+        (* The 1x1-mesh degenerate: a single node has no off-diagonal band
+           to put the stencil on, so it must be rejected — with both dims
+           in the message, not a bare constructor name. *)
+        Alcotest.check_raises "n = m = 1"
+          (Invalid_argument
+             "Stencil5.create: invalid shape n=1 m=1 (need n > 0 and 1 <= m < n)")
+          (fun () -> ignore (Stencil5.create ~n:1 ~m:1)));
+    u "minimal valid shape n=2 m=1 solves exactly" (fun () ->
+        (* The smallest legal system: 2x2 with the +-1 band only (the +-m
+           band coincides with it).  [[2,-1],[-1,2]] x = [0,3] has the
+           exact solution x = [1,2]. *)
+        let a = Stencil5.create ~n:2 ~m:1 in
+        Stencil5.set_row a 0 ~west:0.0 ~south:0.0 ~diag:2.0 ~north:(-1.0) ~east:0.0
+          ~rhs:0.0;
+        Stencil5.set_row a 1 ~west:0.0 ~south:(-1.0) ~diag:2.0 ~north:0.0 ~east:0.0
+          ~rhs:3.0;
+        let dst = Fvec.create 2 in
+        Stencil5.solve a ~dst;
+        Test_util.check_float "x0" 1.0 (Fvec.get dst 0);
+        Test_util.check_float "x1" 2.0 (Fvec.get dst 1));
+    prop "m=1 (single-row mesh) solve matches Banded" ~count:30
+      (gen_stencil_system ~n:12 ~m:1)
+      (fun (off, x_true) ->
+        (* A 1-D mesh collapses the far diagonal onto the near one: the
+           stencil degenerates to tridiagonal-with-doubled-neighbors and
+           must still agree with the dense banded reference. *)
+        let n = 12 and m = 1 in
+        let st, bd = assemble_pair ~n ~m off in
+        let rhs = Banded.mat_vec bd x_true in
+        Array.iteri (fun i v -> Fvec.set (Stencil5.rhs st) i v) rhs;
+        let dst = Fvec.create n in
+        Stencil5.solve st ~dst;
+        Vec.max_abs_diff (Fvec.to_array dst) (Banded.solve_in_place bd (Array.copy rhs))
+        < 1e-9);
     u "set rejects off-stencil entries, get reads zero off the band" (fun () ->
         let a = Stencil5.create ~n:10 ~m:3 in
         Test_util.check_float "off-stencil zero" 0.0 (Stencil5.get a 0 2);

@@ -3,6 +3,7 @@ module Mesh = Tcad.Mesh
 module Doping = Tcad.Doping
 module Structure = Tcad.Structure
 module Poisson = Tcad.Poisson
+module Continuity = Tcad.Continuity
 module Gummel = Tcad.Gummel
 module Extract = Tcad.Extract
 module C = Physics.Constants
@@ -160,6 +161,81 @@ let poisson_tests =
         Alcotest.(check bool) "tiny" true (Float.abs eq.Gummel.drain_current < 1e-8));
   ]
 
+(* Shape guards: a mismatched state vector or recycled scratch must be
+   rejected up front with the offending dims in the message — not crash
+   (or worse, read garbage) deep inside assembly. *)
+let contains_all ~msg subs =
+  let contains sub =
+    let n = String.length msg and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub msg i m = sub || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun sub ->
+      if not (contains sub) then
+        Alcotest.failf "message %S does not name %S" msg sub)
+    subs
+
+let shape_guard_tests =
+  [
+    u "Poisson.solve names the offending lengths on a state mismatch" (fun () ->
+        let dev = Lazy.force device in
+        let m = dev.Structure.mesh in
+        let n = m.Mesh.nx * m.Mesh.ny in
+        let good = Tcad.Field.create n and bad = Tcad.Field.create (n - 1) in
+        match
+          Poisson.solve dev ~biases:Poisson.zero_bias ~phi_n:good ~phi_p:good
+            ~psi0:bad
+        with
+        | exception Invalid_argument msg ->
+          contains_all ~msg
+            [ "Poisson.solve"; Printf.sprintf "psi0 %d" (n - 1);
+              Printf.sprintf "needs %d" n ]
+        | _ -> Alcotest.fail "mismatched psi0 accepted");
+    u "Poisson.solve names both shapes on a scratch mismatch" (fun () ->
+        let dev = Lazy.force device in
+        let m = dev.Structure.mesh in
+        let n = m.Mesh.nx * m.Mesh.ny in
+        let v = Tcad.Field.create n in
+        let alien =
+          { Poisson.sys = Numerics.Stencil5.create ~n:64 ~m:2;
+            Poisson.work = Tcad.Field.create 64 }
+        in
+        match
+          Poisson.solve ~scratch:alien dev ~biases:Poisson.zero_bias ~phi_n:v
+            ~phi_p:v ~psi0:v
+        with
+        | exception Invalid_argument msg ->
+          contains_all ~msg
+            [ "scratch shape mismatch"; "order 64 offset 2";
+              Printf.sprintf "order %d offset %d" n m.Mesh.ny ]
+        | _ -> Alcotest.fail "alien scratch accepted");
+    u "Continuity.solve names the offending lengths and shapes" (fun () ->
+        let dev = Lazy.force device in
+        let m = dev.Structure.mesh in
+        let n = m.Mesh.nx * m.Mesh.ny in
+        (match
+           Continuity.solve dev ~carrier:Continuity.Electrons
+             ~biases:Poisson.zero_bias ~psi:(Tcad.Field.create (n + 3))
+         with
+        | exception Invalid_argument msg ->
+          contains_all ~msg
+            [ "Continuity.solve"; Printf.sprintf "psi has %d" (n + 3);
+              Printf.sprintf "needs %d" n ]
+        | _ -> Alcotest.fail "mismatched psi accepted");
+        let alien =
+          { Poisson.sys = Numerics.Stencil5.create ~n:64 ~m:2;
+            Poisson.work = Tcad.Field.create 64 }
+        in
+        match
+          Continuity.solve ~scratch:alien dev ~carrier:Continuity.Electrons
+            ~biases:Poisson.zero_bias ~psi:(Tcad.Field.create n)
+        with
+        | exception Invalid_argument msg ->
+          contains_all ~msg [ "scratch shape mismatch"; "order 64 offset 2" ]
+        | _ -> Alcotest.fail "alien scratch accepted");
+  ]
+
 let transport_tests =
   [
     slow "drain current rises exponentially with gate bias" (fun () ->
@@ -279,6 +355,7 @@ let suite =
     ("tcad.doping", doping_tests);
     ("tcad.structure", structure_tests);
     ("tcad.poisson", poisson_tests);
+    ("tcad.shape-guards", shape_guard_tests);
     ("tcad.transport", transport_tests);
     ("tcad.extract", extract_tests);
     ("tcad.output", output_curve_tests);
