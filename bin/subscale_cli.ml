@@ -13,6 +13,7 @@
      liberty        characterize a cell library into a Liberty file
      export         write a generated circuit as a SPICE deck
      verilog        emit a gate-level adder as structural Verilog
+     serve          long-running characterization daemon (JSON over a socket)
 
    check/audit/lint share the same conventions: structured diagnostics
    with registry-minted rule ids, --selftest, --strict, exit 1 on
@@ -1250,10 +1251,61 @@ let lint_cmd =
       const run $ log_term $ selftest $ strict $ units $ alias $ format $ rules
       $ baseline_arg $ root_arg $ update)
 
+let serve_cmd =
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv) (an existing socket file is replaced)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let port_arg =
+    let doc = "Listen on loopback TCP port $(docv) (0 picks an ephemeral port). Ignored when --socket is given." in
+    Arg.(value & opt int 7117 & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Back the characterization memo tables with a persistent store rooted at $(docv): \
+       queries answered on one run are served bit-identically from disk by the next."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let run () () () socket port cache =
+    let listen =
+      match socket with
+      | Some path -> `Unix path
+      | None -> `Tcp ("localhost", port)
+    in
+    let on_ready addr =
+      (match addr with
+      | Unix.ADDR_UNIX path -> Printf.printf "subscale serve: listening on %s\n%!" path
+      | Unix.ADDR_INET (host, port) ->
+        Printf.printf "subscale serve: listening on %s:%d\n%!"
+          (Unix.string_of_inet_addr host) port);
+      match cache with
+      | Some dir -> Printf.printf "subscale serve: persistent cache at %s\n%!" dir
+      | None -> ()
+    in
+    Subscale.Serve.Server.run ~on_ready
+      { Subscale.Serve.Server.listen; cache_dir = cache }
+  in
+  let doc = "Serve characterization queries over a socket (line-delimited JSON)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Runs the characterization daemon: one JSON object per line in each \
+          direction.  Requests carry an $(b,op) field — $(b,ping), $(b,health), \
+          $(b,device), $(b,tcad), $(b,idvg) or $(b,shutdown) — plus an optional \
+          $(b,id) echoed in the response.  Overlapping $(b,idvg) sweep boxes \
+          arriving in one batch share a single warm-started TCAD run, and \
+          $(b,--cache) adds a persistent content-addressed store tier behind \
+          the in-memory memo tables, so repeated queries — even across daemon \
+          restarts — are answered without recomputing.  See the Serving \
+          section of the README for the protocol and a quickstart." ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run $ log_term $ jobs_term $ obs_term $ socket_arg $ port_arg $ cache_arg)
+
 let main =
   let doc = "Subthreshold device-scaling study (DAC 2007 reproduction)" in
   Cmd.group (Cmd.info "subscale" ~doc ~version:"1.0.0")
     [ run_cmd; check_cmd; audit_cmd; lint_cmd; device_cmd; tcad_cmd; sweep_cmd;
-      liberty_cmd; export_cmd; verilog_cmd ]
+      liberty_cmd; export_cmd; verilog_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

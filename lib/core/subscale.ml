@@ -21,8 +21,11 @@
       parallel engine, float/exception/output hygiene) over the .cmt
       artifacts dune produces;
     - {!Exec} — the domain pool ({!Exec.Pool}) every sweep fans out
-      through, and the content-addressed memo tables ({!Exec.Memo}) that
-      share device solves across experiments;
+      through, the content-addressed memo tables ({!Exec.Memo}) that
+      share device solves across experiments, and the persistent
+      on-disk cache tier behind them ({!Exec.Store});
+    - {!Serve} — the [subscale serve] daemon: line-delimited JSON
+      queries over a socket, answered from the memo/store tiers;
     - {!Experiments} — one driver per table and figure. *)
 
 module Physics = Physics
@@ -40,4 +43,5 @@ module Report = Report
 module Check = Check
 module Lint = Lint
 module Obs = Obs
+module Serve = Serve
 module Experiments = Experiments

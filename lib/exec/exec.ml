@@ -20,6 +20,7 @@
 module Pool = Pool
 module Memo = Memo
 module Key = Key
+module Store = Store
 
 let default_jobs () =
   match Sys.getenv_opt "SUBSCALE_JOBS" with

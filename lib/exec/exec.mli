@@ -21,6 +21,7 @@
 module Pool = Pool
 module Memo = Memo
 module Key = Key
+module Store = Store
 
 val jobs : unit -> int
 (** The configured fan-out width (resolving the default on first use). *)

@@ -9,28 +9,65 @@
 
 type 'a t
 
-type stats = { name : string; hits : int; misses : int; size : int }
+type stats = {
+  name : string;
+  hits : int;  (** in-memory hits *)
+  misses : int;  (** full misses: computed *)
+  size : int;
+  store_hits : int;  (** answered from the persistent tier *)
+}
+(** Per-lookup accounting: every [find_or_compute] call lands in exactly
+    one of [hits], [store_hits] or [misses]. *)
 
 val create : ?equal:('a -> 'a -> bool) -> name:string -> unit -> 'a t
 (** A fresh table, registered process-wide for {!clear_all} / {!stats}.
+    The registry is keyed by [name]: re-creating a table replaces the
+    previous entry, so dropped tables are not pinned by their
+    registered closures and [stats ()] reports one row per name.
     [equal] is only consulted by the audit shadow recompute; it defaults
-    to structural equality, with values that cannot be compared
+    to comparison via the polymorphic total order (so NaN payloads
+    compare equal to themselves), with values that cannot be compared
     structurally (captured closures) treated as equal. *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
-(** Return the cached value for [key], or run the thunk, cache and return
-    its result.  The thunk runs outside the table lock. *)
+(** Return the cached value for [key] — from memory, else from the
+    attached persistent tier — or run the thunk, cache (and write
+    behind) and return its result.  The thunk runs outside the table
+    lock. *)
 
 val hits : 'a t -> int
 val misses : 'a t -> int
+
+val store_hits : 'a t -> int
+(** Lookups answered by the persistent tier (a memory miss that the
+    store satisfied). *)
+
 val size : 'a t -> int
 val clear : 'a t -> unit
 
+val unregister : 'a t -> unit
+(** Drop [t]'s registry entry so {!clear_all}/{!stats} stop seeing it.
+    A no-op if a newer table has already taken over the name. *)
+
 val clear_all : unit -> unit
-(** Reset every table in the process (test/bench isolation). *)
+(** Reset every registered table in the process (test/bench isolation). *)
 
 val stats : unit -> stats list
-(** Per-table counters, sorted by table name. *)
+(** Per-table counters, sorted by table name; one row per registered
+    name. *)
+
+val registry_size : unit -> int
+(** Number of registered tables (daemon leak check). *)
+
+(** {2 Persistent tier}
+
+    A table may be backed by an on-disk {!Store}: memo misses consult
+    the store before computing, and computed values are written behind.
+    The store handle's lifetime stays with the caller — detach (or
+    {!Store.close}) when done. *)
+
+val attach_store : 'a t -> store:Store.t -> codec:'a Store.codec -> unit
+val detach_store : 'a t -> unit
 
 (** {2 Scoped bypass} *)
 
@@ -58,6 +95,12 @@ val with_audit : (unit -> 'a) -> 'a
 
 val audit_violations : unit -> (string * string) list
 (** [(table name, key)] of every shadow-recompute mismatch recorded since
-    the last {!clear_audit_violations}, in detection order. *)
+    the last {!clear_audit_violations}, in detection order.  Bounded: at
+    most 256 entries are kept; the overflow is counted in
+    {!audit_violations_dropped}. *)
+
+val audit_violations_dropped : unit -> int
+(** Mismatches discarded because the violation list was full. *)
 
 val clear_audit_violations : unit -> unit
+(** Empty the violation list and reset the dropped count. *)

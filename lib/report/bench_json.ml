@@ -1,7 +1,5 @@
-(* subscale-bench/1 reader/writer.  The parser is a tiny recursive-descent
-   JSON reader covering exactly what the schema can contain (objects,
-   arrays, strings, numbers, null, booleans) — lib/report links against
-   nothing, so no JSON dependency. *)
+(* subscale-bench/1 reader/writer on top of the shared {!Json} subset
+   parser — lib/report links against nothing, so no JSON dependency. *)
 
 type result_row = { bench : string; ns_per_run : float option }
 type memo_row = { table : string; hits : int; misses : int; size : int }
@@ -17,19 +15,7 @@ let schema_id = "subscale-bench/1"
 
 (* --- rendering ------------------------------------------------------- *)
 
-let escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let escape = Json.escape
 
 let render t =
   let buf = Buffer.create 1024 in
@@ -65,204 +51,36 @@ let render t =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-(* --- JSON subset parser ---------------------------------------------- *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | Arr of json list
-  | Obj of (string * json) list
-
-exception Bad of string
-
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      value
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let string_lit () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> (
-        advance ();
-        match peek () with
-        | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
-        | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
-        | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
-        | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
-        | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
-        | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > n then fail "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-          pos := !pos + 4;
-          (* The schema is ASCII; escapes only ever encode control bytes. *)
-          if code < 0x80 then Buffer.add_char buf (Char.chr code)
-          else Buffer.add_char buf '?';
-          go ()
-        | _ -> fail "unsupported escape")
-      | Some c ->
-        advance ();
-        Buffer.add_char buf c;
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let number () =
-    let start = !pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> is_num_char c | None -> false) do
-      advance ()
-    done;
-    if !pos = start then fail "expected number";
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "malformed number"
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = string_lit () in
-          skip_ws ();
-          expect ':';
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((key, v) :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev ((key, v) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Obj (members [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let rec elems acc =
-          let v = value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elems (v :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Arr (elems [])
-      end
-    | Some '"' -> Str (string_lit ())
-    | Some 'n' -> literal "null" Null
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some _ -> Num (number ())
-    | None -> fail "unexpected end of input"
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
 (* --- schema extraction + validation ---------------------------------- *)
 
-let field name = function
-  | Obj kvs -> (
-    match List.assoc_opt name kvs with
-    | Some v -> v
-    | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
-  | _ -> raise (Bad (Printf.sprintf "expected object around field %S" name))
-
-let as_string what = function
-  | Str s -> s
-  | _ -> raise (Bad (Printf.sprintf "%s: expected string" what))
-
-let as_number what = function
-  | Num f -> f
-  | _ -> raise (Bad (Printf.sprintf "%s: expected number" what))
-
-let as_int what j =
-  let f = as_number what j in
-  if Float.is_integer f then int_of_float f
-  else raise (Bad (Printf.sprintf "%s: expected integer" what))
-
-let as_list what = function
-  | Arr l -> l
-  | _ -> raise (Bad (Printf.sprintf "%s: expected array" what))
-
 let result_of_json j =
-  let bench = as_string "results[].name" (field "name" j) in
+  let bench = Json.as_string "results[].name" (Json.field "name" j) in
   let ns_per_run =
-    match field "ns_per_run" j with
-    | Null -> None
-    | Num f ->
+    match Json.field "ns_per_run" j with
+    | Json.Null -> None
+    | Json.Num f ->
       if Float.is_finite f && f >= 0.0 then Some f
-      else raise (Bad (Printf.sprintf "series %S: ns_per_run not a finite non-negative number" bench))
-    | _ -> raise (Bad (Printf.sprintf "series %S: ns_per_run must be number or null" bench))
+      else
+        raise
+          (Json.Bad
+             (Printf.sprintf "series %S: ns_per_run not a finite non-negative number"
+                bench))
+    | _ ->
+      raise (Json.Bad (Printf.sprintf "series %S: ns_per_run must be number or null" bench))
   in
   { bench; ns_per_run }
 
 let memo_of_json j =
-  let table = as_string "memo[].name" (field "name" j) in
+  let table = Json.as_string "memo[].name" (Json.field "name" j) in
   let nat what v =
-    let i = as_int what v in
-    if i < 0 then raise (Bad (what ^ ": negative count")) else i
+    let i = Json.as_int what v in
+    if i < 0 then raise (Json.Bad (what ^ ": negative count")) else i
   in
   {
     table;
-    hits = nat (table ^ ".hits") (field "hits" j);
-    misses = nat (table ^ ".misses") (field "misses" j);
-    size = nat (table ^ ".size") (field "size" j);
+    hits = nat (table ^ ".hits") (Json.field "hits" j);
+    misses = nat (table ^ ".misses") (Json.field "misses" j);
+    size = nat (table ^ ".size") (Json.field "size" j);
   }
 
 let check_unique what names =
@@ -270,33 +88,34 @@ let check_unique what names =
   List.iter
     (fun name ->
       if Hashtbl.mem tbl name then
-        raise (Bad (Printf.sprintf "duplicate %s %S" what name));
+        raise (Json.Bad (Printf.sprintf "duplicate %s %S" what name));
       Hashtbl.add tbl name ())
     names
 
 let parse text =
   match
-    let j = parse_json text in
-    let schema = as_string "schema" (field "schema" j) in
+    let j = Json.parse_exn text in
+    let schema = Json.as_string "schema" (Json.field "schema" j) in
     if schema <> schema_id then
-      raise (Bad (Printf.sprintf "schema %S, want %S" schema schema_id));
+      raise (Json.Bad (Printf.sprintf "schema %S, want %S" schema schema_id));
     let t =
       {
-        suite = as_string "suite" (field "suite" j);
-        quota_s = as_number "quota_s" (field "quota_s" j);
-        results = List.map result_of_json (as_list "results" (field "results" j));
-        memo = List.map memo_of_json (as_list "memo" (field "memo" j));
+        suite = Json.as_string "suite" (Json.field "suite" j);
+        quota_s = Json.as_number "quota_s" (Json.field "quota_s" j);
+        results =
+          List.map result_of_json (Json.as_list "results" (Json.field "results" j));
+        memo = List.map memo_of_json (Json.as_list "memo" (Json.field "memo" j));
       }
     in
     if not (Float.is_finite t.quota_s && t.quota_s > 0.0) then
-      raise (Bad "quota_s must be positive");
-    if t.results = [] then raise (Bad "results must be non-empty");
+      raise (Json.Bad "quota_s must be positive");
+    if t.results = [] then raise (Json.Bad "results must be non-empty");
     check_unique "series" (List.map (fun r -> r.bench) t.results);
     check_unique "memo table" (List.map (fun (m : memo_row) -> m.table) t.memo);
     t
   with
   | t -> Ok t
-  | exception Bad msg -> Error msg
+  | exception Json.Bad msg -> Error msg
 
 let load path =
   match In_channel.with_open_bin path In_channel.input_all with

@@ -1,0 +1,236 @@
+(* Dependency-free JSON subset reader/writer.  The parser is a tiny
+   recursive-descent reader covering exactly what the subscale schemas can
+   contain (objects, arrays, strings, numbers, null, booleans) —
+   lib/report links against nothing, so no JSON dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Numbers must round-trip: 17 significant digits recover the exact double.
+   Integral values print without the fraction so counters stay readable. *)
+let render_num f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let render v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (render_num f)
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          go x)
+        xs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          go x)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let parse_exn s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> advance (); Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance (); Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance (); Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* The schemas are ASCII; escapes only ever encode control bytes. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?';
+          go ()
+        | _ -> fail "unsupported escape")
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (elems [])
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some _ -> Num (number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let parse text =
+  match parse_exn text with t -> Ok t | exception Bad msg -> Error msg
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let field name = function
+  | Obj kvs -> (
+    match List.assoc_opt name kvs with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad (Printf.sprintf "expected object around field %S" name))
+
+let as_string what = function
+  | Str s -> s
+  | _ -> raise (Bad (Printf.sprintf "%s: expected string" what))
+
+let as_number what = function
+  | Num f -> f
+  | _ -> raise (Bad (Printf.sprintf "%s: expected number" what))
+
+let as_int what j =
+  let f = as_number what j in
+  if Float.is_integer f then int_of_float f
+  else raise (Bad (Printf.sprintf "%s: expected integer" what))
+
+let as_list what = function
+  | Arr l -> l
+  | _ -> raise (Bad (Printf.sprintf "%s: expected array" what))

@@ -1,0 +1,35 @@
+(** Sweep-box coalescing: a pure planner that merges overlapping Id–Vg
+    requests so one warm-started TCAD run serves them all.
+
+    Requests are grouped by bit-equal drain bias, then boxes whose
+    [[vg_min, vg_max]] ranges transitively overlap (or touch) are merged
+    into one group.  The group's gate grid is the sorted, bit-exact
+    deduplication of every member's own linspace grid, so each member's
+    answer is read off the merged sweep at exactly the gate voltages it
+    asked for — the values a standalone run would have swept, modulo the
+    warm-continuation tolerance (see DESIGN.md). *)
+
+type box = {
+  rid : int;  (** caller's request identifier, threaded through *)
+  vd : float;
+  vg_min : float;
+  vg_max : float;
+  points : int;
+}
+
+type group = {
+  vd : float;
+  grid : float array;  (** strictly increasing union of member grids *)
+  members : (int * int array) list;
+      (** [(rid, idx)]: member [rid]'s point [i] lives at [grid.(idx.(i))] *)
+}
+
+val grid_of_box : box -> float array
+(** The member's own gate grid, [linspace vg_min vg_max points] — the
+    grid a standalone {!Tcad.Extract.id_vg} call would sweep.  Raises
+    [Invalid_argument] when [points < 2] or [vg_min >= vg_max]. *)
+
+val plan : box list -> group list
+(** Partition boxes into merged groups.  Groups come out ordered by
+    ascending [vd] (ties by first member), members in input order.
+    Every input [rid] appears in exactly one group. *)

@@ -1,0 +1,7 @@
+(** Serving layer: the line-delimited JSON query protocol
+    ({!Protocol}), the sweep-box coalescing planner ({!Coalesce}) and
+    the socket daemon ({!Server}) behind [subscale serve]. *)
+
+module Protocol = Protocol
+module Coalesce = Coalesce
+module Server = Server

@@ -1,0 +1,472 @@
+(* The serving loop.  Single-threaded event loop over Unix.select; the
+   compute itself fans out over the shared Exec pool, one task per
+   coalesced job, so the daemon parallelizes across queries while each
+   TCAD run stays sequential (and therefore bit-reproducible). *)
+
+module Json = Report.Json
+
+type config = {
+  listen : [ `Unix of string | `Tcp of string * int ];
+  cache_dir : string option;
+}
+
+let idvg_memo : Tcad.Extract.sweep Exec.Memo.t = Exec.Memo.create ~name:"serve.idvg" ()
+
+let requests_counter = Obs.Metrics.counter "serve.requests"
+let errors_counter = Obs.Metrics.counter "serve.errors"
+let coalesced_counter = Obs.Metrics.counter "serve.coalesced"
+
+(* --- device resolution ------------------------------------------------ *)
+
+let select_device ~node ~strategy =
+  match Scaling.Roadmap.find node with
+  | exception Not_found ->
+    Error (Printf.sprintf "unknown node %d (known: 130, 90, 65, 45, 32)" node)
+  | n -> (
+    match strategy with
+    | "super" ->
+      let s = Scaling.Super_vth.select_node n in
+      Ok (n, Scaling.Strategy.Super_vth, s.Scaling.Super_vth.phys, s.Scaling.Super_vth.pair)
+    | "sub" ->
+      let s = Scaling.Sub_vth.select_node n in
+      Ok (n, Scaling.Strategy.Sub_vth, s.Scaling.Sub_vth.phys, s.Scaling.Sub_vth.pair)
+    | other -> Error (Printf.sprintf "unknown strategy %S (super or sub)" other))
+
+let build_structure ~node ~strategy ~nx ~ny =
+  match select_device ~node ~strategy with
+  | Error _ as e -> e
+  | Ok (_, _, _, pair) ->
+    let desc = Device.Compact.to_tcad_description pair.Circuits.Inverter.nfet in
+    Ok (Tcad.Structure.build ?nx ?ny desc)
+
+(* --- response payloads ------------------------------------------------ *)
+
+let num f = Json.Num f
+let arr_of_floats a = Json.Arr (Array.to_list (Array.map num a))
+
+let evaluation_fields (e : Scaling.Strategy.evaluation) =
+  [ ("node", num (float_of_int e.Scaling.Strategy.node.Scaling.Roadmap.nm));
+    ("strategy", Json.Str (Scaling.Strategy.kind_name e.Scaling.Strategy.kind));
+    ("ss", num e.Scaling.Strategy.ss);
+    ("vth_sat", num e.Scaling.Strategy.vth_sat);
+    ("ioff_nominal", num e.Scaling.Strategy.ioff_nominal);
+    ("ion_sub", num e.Scaling.Strategy.ion_sub);
+    ("on_off_sub", num e.Scaling.Strategy.on_off_sub);
+    ("snm_sub", num e.Scaling.Strategy.snm_sub);
+    ("delay_sub", num e.Scaling.Strategy.delay_sub);
+    ("vmin", num e.Scaling.Strategy.vmin);
+    ("energy_at_vmin", num e.Scaling.Strategy.energy_at_vmin) ]
+
+let characteristics_fields (c : Tcad.Extract.characteristics) =
+  [ ("ss", num c.Tcad.Extract.ss);
+    ("vth_lin", num c.Tcad.Extract.vth_lin);
+    ("vth_sat", num c.Tcad.Extract.vth_sat);
+    ("dibl", num c.Tcad.Extract.dibl);
+    ("ioff", num c.Tcad.Extract.ioff);
+    ("ion_sub", num c.Tcad.Extract.ion_sub);
+    ("on_off_ratio_sub", num c.Tcad.Extract.on_off_ratio_sub);
+    ("leff", num c.Tcad.Extract.leff) ]
+
+let metric_json = function
+  | Obs.Metrics.Counter n -> num (float_of_int n)
+  | Obs.Metrics.Gauge g -> num g
+  | Obs.Metrics.Histogram h ->
+    Json.Obj
+      [ ("count", num (float_of_int h.Obs.Metrics.count));
+        ("sum", num h.Obs.Metrics.sum);
+        ("min", num h.Obs.Metrics.min);
+        ("max", num h.Obs.Metrics.max) ]
+
+let health_fields store =
+  let metrics =
+    List.map (fun (name, v) -> (name, metric_json v)) (Obs.Metrics.snapshot ())
+  in
+  let memo =
+    List.map
+      (fun (s : Exec.Memo.stats) ->
+        Json.Obj
+          [ ("name", Json.Str s.Exec.Memo.name);
+            ("hits", num (float_of_int s.Exec.Memo.hits));
+            ("misses", num (float_of_int s.Exec.Memo.misses));
+            ("store_hits", num (float_of_int s.Exec.Memo.store_hits));
+            ("size", num (float_of_int s.Exec.Memo.size)) ])
+      (Exec.Memo.stats ())
+  in
+  let store_fields =
+    match store with
+    | None -> []
+    | Some s ->
+      [ ( "store",
+          Json.Obj
+            [ ("dir", Json.Str (Exec.Store.dir s));
+              ("hits", num (float_of_int (Exec.Store.hits s)));
+              ("misses", num (float_of_int (Exec.Store.misses s)));
+              ("writes", num (float_of_int (Exec.Store.writes s)));
+              ("pending", num (float_of_int (Exec.Store.pending s)));
+              ("entries", num (float_of_int (Exec.Store.entry_count s))) ] ) ]
+  in
+  [ ("metrics", Json.Obj metrics); ("memo", Json.Arr memo) ] @ store_fields
+
+(* --- compute jobs ----------------------------------------------------- *)
+
+(* Where an answer goes: connection id plus the connection-local request
+   sequence number (responses are written back in [seq] order), and the
+   request's echoed id. *)
+type slot = { conn_id : int; seq : int; echo : Json.t }
+
+type job =
+  | J_char of {
+      node : int;
+      strategy : string;
+      vdd : float;
+      nx : int option;
+      ny : int option;
+      slots : slot list; (* identical requests in the batch share one solve *)
+    }
+  | J_sweep of {
+      node : int;
+      strategy : string;
+      nx : int option;
+      ny : int option;
+      vd : float;
+      grid : float array;
+      members : (slot * int array) list;
+    }
+
+let sweep_key dev ~vd grid =
+  Exec.Key.(
+    fields "serve.idvg"
+      [ ("desc", Tcad.Structure.description_key dev.Tcad.Structure.desc);
+        ("nx", int dev.Tcad.Structure.mesh.Tcad.Mesh.nx);
+        ("ny", int dev.Tcad.Structure.mesh.Tcad.Mesh.ny);
+        ("vd", float vd);
+        ( "vgs",
+          String.concat "," (List.map float (Array.to_list grid)) ) ])
+
+(* One catch-all per job: any solver failure (non-convergence, window
+   too narrow for slope extraction, guard trips) must become an error
+   response on every slot the job owns — a daemon that leaks an
+   exception out of a query dies for all its clients. *)
+let run_job job : (slot * string) list =
+  match job with
+  | J_char { node; strategy; vdd; nx; ny; slots } ->
+    let answer =
+      match build_structure ~node ~strategy ~nx ~ny with
+      | Error msg -> fun slot -> Protocol.error_response ~id:slot.echo msg
+      | Ok dev -> (
+        match Tcad.Extract.characterize_cached ~vdd dev with
+        | ch ->
+          fun slot -> Protocol.ok_response ~id:slot.echo (characteristics_fields ch)
+        | exception e ->
+          let msg = Printexc.to_string e in
+          fun slot -> Protocol.error_response ~id:slot.echo msg)
+    in
+    List.map (fun slot -> (slot, answer slot)) slots
+  | J_sweep { node; strategy; nx; ny; vd; grid; members } ->
+    let answer =
+      match build_structure ~node ~strategy ~nx ~ny with
+      | Error msg -> fun slot _ -> Protocol.error_response ~id:slot.echo msg
+      | Ok dev -> (
+        match
+          Exec.Memo.find_or_compute idvg_memo ~key:(sweep_key dev ~vd grid) (fun () ->
+              Tcad.Extract.id_vg_at dev ~vd ~vgs:grid)
+        with
+        | sweep ->
+          fun slot idx ->
+            Protocol.ok_response ~id:slot.echo
+              [ ("vd", num vd);
+                ("vgs", arr_of_floats (Array.map (fun i -> sweep.Tcad.Extract.vgs.(i)) idx));
+                ("ids", arr_of_floats (Array.map (fun i -> sweep.Tcad.Extract.ids.(i)) idx)) ]
+        | exception e ->
+          let msg = Printexc.to_string e in
+          fun slot _ -> Protocol.error_response ~id:slot.echo msg)
+    in
+    List.map (fun (slot, idx) -> (slot, answer slot idx)) members
+
+(* Batch planning: identical characterizations collapse to one J_char;
+   Id-Vg boxes coalesce per device via Coalesce.plan.  Degenerate boxes
+   are rejected here, before they can reach the planner, and come back
+   as ready-made error responses. *)
+let plan_jobs deferred =
+  let rejects = ref [] in
+  let chars : (int * string * float * int option * int option, slot list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let char_order = ref [] in
+  let sweeps : (int * string * int option * int option, (slot * Coalesce.box) list ref)
+      Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let sweep_order = ref [] in
+  List.iter
+    (fun (slot, req) ->
+      match req with
+      | Protocol.Tcad { node; strategy; vdd; nx; ny } -> (
+        let k = (node, strategy, vdd, nx, ny) in
+        match Hashtbl.find_opt chars k with
+        | Some l -> l := slot :: !l
+        | None ->
+          Hashtbl.add chars k (ref [ slot ]);
+          char_order := k :: !char_order)
+      | Protocol.Idvg { node; strategy; vd; vg_min; vg_max; points; nx; ny } -> (
+        let k = (node, strategy, nx, ny) in
+        let box = { Coalesce.rid = 0; vd; vg_min; vg_max; points } in
+        match Coalesce.grid_of_box box with
+        | exception Invalid_argument msg ->
+          rejects := (slot, Protocol.error_response ~id:slot.echo msg) :: !rejects
+        | _ -> (
+          match Hashtbl.find_opt sweeps k with
+          | Some l -> l := (slot, box) :: !l
+          | None ->
+            Hashtbl.add sweeps k (ref [ (slot, box) ]);
+            sweep_order := k :: !sweep_order))
+      | Protocol.Ping | Protocol.Health | Protocol.Shutdown | Protocol.Device _ ->
+        (* inline ops never reach the planner *)
+        ())
+    deferred;
+  let char_jobs =
+    List.rev_map
+      (fun ((node, strategy, vdd, nx, ny) as k) ->
+        J_char { node; strategy; vdd; nx; ny; slots = List.rev !(Hashtbl.find chars k) })
+      !char_order
+  in
+  let sweep_jobs =
+    List.concat_map
+      (fun ((node, strategy, nx, ny) as k) ->
+        let entries = Array.of_list (List.rev !(Hashtbl.find sweeps k)) in
+        let boxes =
+          Array.to_list
+            (Array.mapi (fun i (_, box) -> { box with Coalesce.rid = i }) entries)
+        in
+        List.map
+          (fun (g : Coalesce.group) ->
+            if List.length g.Coalesce.members > 1 then
+              Obs.Metrics.incr ~by:(List.length g.Coalesce.members - 1) coalesced_counter;
+            J_sweep
+              {
+                node;
+                strategy;
+                nx;
+                ny;
+                vd = g.Coalesce.vd;
+                grid = g.Coalesce.grid;
+                members =
+                  List.map
+                    (fun (rid, idx) -> (fst entries.(rid), idx))
+                    g.Coalesce.members;
+              })
+          (Coalesce.plan boxes))
+      (List.rev !sweep_order)
+  in
+  (List.rev !rejects, char_jobs @ sweep_jobs)
+
+(* --- connection bookkeeping ------------------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  conn_id : int;
+  pending : Buffer.t; (* bytes read, not yet terminated by '\n' *)
+  mutable next_seq : int;
+  mutable alive : bool;
+}
+
+let read_chunk_size = 4096
+
+(* Returns the complete lines newly available on [c]; leaves the final
+   partial line buffered.  Marks the connection dead on EOF or reset. *)
+let read_lines c =
+  let bytes = Bytes.create read_chunk_size in
+  let n =
+    match Unix.read c.fd bytes 0 read_chunk_size with
+    | n -> n
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+  in
+  if n = 0 then begin
+    c.alive <- false;
+    []
+  end
+  else begin
+    Buffer.add_subbytes c.pending bytes 0 n;
+    let text = Buffer.contents c.pending in
+    let lines = ref [] in
+    let start = ref 0 in
+    String.iteri
+      (fun i ch ->
+        if ch = '\n' then begin
+          lines := String.sub text !start (i - !start) :: !lines;
+          start := i + 1
+        end)
+      text;
+    Buffer.clear c.pending;
+    Buffer.add_substring c.pending text !start (String.length text - !start);
+    List.rev !lines
+  end
+
+let write_all c s =
+  let data = s ^ "\n" in
+  let len = String.length data in
+  let off = ref 0 in
+  (try
+     while !off < len do
+       off := !off + Unix.write_substring c.fd data !off (len - !off)
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> c.alive <- false);
+  ()
+
+(* --- the loop --------------------------------------------------------- *)
+
+let bind_listener = function
+  | `Unix path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    (fd, fun () -> if Sys.file_exists path then Sys.remove path)
+  | `Tcp (host, port) ->
+    let addr =
+      if host = "" || host = "localhost" then Unix.inet_addr_loopback
+      else Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    (fd, fun () -> ())
+
+let run ?on_ready config =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ ->
+    (* some platforms have no SIGPIPE; writes already handle EPIPE *)
+    ());
+  let listen_fd, cleanup = bind_listener config.listen in
+  Unix.listen listen_fd 16;
+  let store =
+    Option.map (fun dir -> Exec.Store.open_store ~dir ()) config.cache_dir
+  in
+  (match store with
+  | Some s ->
+    Exec.Memo.attach_store Tcad.Extract.characterize_memo ~store:s
+      ~codec:Tcad.Extract.characteristics_codec;
+    Exec.Memo.attach_store idvg_memo ~store:s ~codec:Tcad.Extract.sweep_codec
+  | None -> ());
+  (match on_ready with Some f -> f (Unix.getsockname listen_fd) | None -> ());
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_conn_id = ref 0 in
+  let running = ref true in
+  while !running do
+    let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let readable =
+      match Unix.select fds [] [] (-1.0) with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    (* 1. Accept and read: drain every complete line into one batch. *)
+    let batch = ref [] in
+    List.iter
+      (fun fd ->
+        if fd = listen_fd then begin
+          match Unix.accept listen_fd with
+          | cfd, _ ->
+            incr next_conn_id;
+            Hashtbl.replace conns cfd
+              {
+                fd = cfd;
+                conn_id = !next_conn_id;
+                pending = Buffer.create 256;
+                next_seq = 0;
+                alive = true;
+              }
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        end
+        else
+          match Hashtbl.find_opt conns fd with
+          | None -> ()
+          | Some c ->
+            List.iter
+              (fun line ->
+                let seq = c.next_seq in
+                c.next_seq <- seq + 1;
+                batch := (c, seq, line) :: !batch)
+              (read_lines c))
+      readable;
+    let batch = List.rev !batch in
+    (* 2. Parse; answer inline ops; queue compute ops. *)
+    let responses : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+    let deferred = ref [] in
+    List.iter
+      (fun (c, seq, line) ->
+        Obs.Metrics.incr requests_counter;
+        let key = (c.conn_id, seq) in
+        match Protocol.parse_request line with
+        | Error msg ->
+          Obs.Metrics.incr errors_counter;
+          Hashtbl.replace responses key (Protocol.error_response ~id:Json.Null msg)
+        | Ok { id; req } -> (
+          let slot = { conn_id = c.conn_id; seq; echo = id } in
+          match req with
+          | Protocol.Ping ->
+            Hashtbl.replace responses key (Protocol.ok_response ~id [ ("pong", Json.Bool true) ])
+          | Protocol.Health ->
+            Hashtbl.replace responses key (Protocol.ok_response ~id (health_fields store))
+          | Protocol.Shutdown ->
+            running := false;
+            Hashtbl.replace responses key
+              (Protocol.ok_response ~id [ ("shutdown", Json.Bool true) ])
+          | Protocol.Device { node; strategy } ->
+            let resp =
+              match select_device ~node ~strategy with
+              | Error msg ->
+                Obs.Metrics.incr errors_counter;
+                Protocol.error_response ~id msg
+              | Ok (n, kind, phys, pair) ->
+                Protocol.ok_response ~id
+                  (evaluation_fields (Scaling.Strategy.evaluate kind n phys pair))
+            in
+            Hashtbl.replace responses key resp
+          | Protocol.Tcad _ | Protocol.Idvg _ -> deferred := (slot, req) :: !deferred))
+      batch;
+    (* 3. Fan the compute jobs out over the pool. *)
+    let rejects, jobs = plan_jobs (List.rev !deferred) in
+    List.iter
+      (fun ((slot : slot), resp) ->
+        Hashtbl.replace responses (slot.conn_id, slot.seq) resp)
+      rejects;
+    List.iter
+      (fun results ->
+        List.iter
+          (fun ((slot : slot), resp) ->
+            Hashtbl.replace responses (slot.conn_id, slot.seq) resp)
+          results)
+      (Exec.map run_job jobs);
+    (* 4. Write responses back in per-connection request order. *)
+    List.iter
+      (fun (c, seq, _) ->
+        if c.alive then
+          match Hashtbl.find_opt responses (c.conn_id, seq) with
+          | Some resp -> write_all c resp
+          | None -> ())
+      batch;
+    (match store with Some s -> Exec.Store.flush s | None -> ());
+    (* 5. Reap dead connections. *)
+    let dead = Hashtbl.fold (fun fd c acc -> if c.alive then acc else fd :: acc) conns [] in
+    List.iter
+      (fun fd ->
+        Hashtbl.remove conns fd;
+        match Unix.close fd with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ())
+      dead
+  done;
+  (match store with
+  | Some s ->
+    Exec.Memo.detach_store Tcad.Extract.characterize_memo;
+    Exec.Memo.detach_store idvg_memo;
+    Exec.Store.close s
+  | None -> ());
+  Hashtbl.iter
+    (fun fd _ ->
+      match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EBADF, _, _) -> ())
+    conns;
+  Unix.close listen_fd;
+  cleanup ()

@@ -1,0 +1,34 @@
+(** The [subscale serve] daemon: an accept/dispatch loop speaking the
+    line-delimited JSON {!Protocol} over a Unix-domain or loopback TCP
+    socket, answering characterization queries from the {!Exec.Memo}
+    tables — optionally backed by a persistent {!Exec.Store} tier — and
+    fanning compute-bound queries out over the shared {!Exec} pool.
+
+    Each [select] round drains every complete request line from every
+    connection into one batch: overlapping Id–Vg boxes in the batch are
+    {!Coalesce}d into shared warm-started runs, identical
+    characterization requests collapse into one solve, and responses are
+    written back in per-connection request order.  A [shutdown] request
+    answers, flushes the store, and returns from {!run}. *)
+
+type config = {
+  listen : [ `Unix of string | `Tcp of string * int ];
+      (** [`Unix path] (an existing socket file is replaced) or
+          [`Tcp (host, port)]; port 0 binds an ephemeral port. *)
+  cache_dir : string option;
+      (** When set, an {!Exec.Store} opened here backs the
+          characterization and sweep memo tables: queries answered on one
+          run of the daemon are served bit-identically from disk by the
+          next. *)
+}
+
+val idvg_memo : Tcad.Extract.sweep Exec.Memo.t
+(** The in-memory tier for coalesced Id–Vg sweeps, keyed by device
+    description, mesh dims, drain bias and the exact gate grid
+    (["serve.idvg"] in [Exec.Memo.stats]). *)
+
+val run : ?on_ready:(Unix.sockaddr -> unit) -> config -> unit
+(** Bind, listen and serve until a [shutdown] request arrives.
+    [on_ready] fires once the socket is listening (with the bound
+    address — the actual port when [`Tcp] bound port 0), before the
+    first [accept]; tests use it to connect from another domain. *)

@@ -32,23 +32,35 @@ let advance ?tol ?max_gummel ?max_warm_gummel ~warm ~scratch ~anchor dev prev ta
       Gummel.solve_at ?tol ?max_gummel ~scratch dev ~from:anchor target
   end
 
-(* Shared Id-Vg core.  [anchor] is the equilibrium state cold starts ramp
-   from; [seed] is the state warm continuation enters the sweep plane from
-   (the anchor for a standalone sweep, the previous plane's entry state
-   inside [characterize]).  Returns the sweep and the entry state so the
-   next Vd plane can continue from it. *)
-let id_vg_from ~vg_min ~vg_max ~points ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch
-    ~anchor ~seed dev ~vd =
-  if points < 2 then invalid_arg "Extract.id_vg: need at least 2 points";
+(* Shared Id-Vg core over an arbitrary strictly-increasing gate grid.
+   [anchor] is the equilibrium state cold starts ramp from; [seed] is the
+   state warm continuation enters the sweep plane from (the anchor for a
+   standalone sweep, the previous plane's entry state inside
+   [characterize]).  Returns the sweep and the entry state so the next Vd
+   plane can continue from it. *)
+let check_grid vgs =
+  let points = Array.length vgs in
+  if points < 2 then
+    invalid_arg (Printf.sprintf "Extract.id_vg: points = %d, need >= 2" points);
+  for i = 0 to points - 2 do
+    if vgs.(i + 1) <= vgs.(i) then
+      invalid_arg
+        (Printf.sprintf "Extract.id_vg: vgs.(%d) = %g >= vgs.(%d) = %g, grid must be strictly increasing"
+           i vgs.(i) (i + 1) vgs.(i + 1))
+  done
+
+let id_vg_on ~vgs ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch ~anchor ~seed dev ~vd
+    =
+  check_grid vgs;
+  let points = Array.length vgs in
   Obs.Trace.with_span ~cat:"tcad"
     ~attrs:[ ("vd", Obs.Trace.F vd); ("points", Obs.Trace.I points) ]
     "extract.id_vg"
   @@ fun () ->
   let sign = sign_of dev in
-  let vgs = Numerics.Vec.linspace vg_min vg_max points in
   let ids = Array.make points 0.0 in
   let first_target =
-    { Poisson.zero_bias with Poisson.drain = sign *. vd; gate = sign *. vg_min }
+    { Poisson.zero_bias with Poisson.drain = sign *. vd; gate = sign *. vgs.(0) }
   in
   (* Plane entry: ramped continuation from the seed state (which is the
      plain cold start when [seed = anchor]). *)
@@ -76,12 +88,32 @@ let id_vg_from ~vg_min ~vg_max ~points ~warm ?tol ?max_gummel ?max_warm_gummel ~
     done;
   ({ vd; vgs; ids }, start)
 
+(* Linspace convenience over the arbitrary-grid core; the [points] guard
+   runs before [linspace] so the caller sees the offending value instead
+   of a degenerate step division. *)
+let id_vg_from ~vg_min ~vg_max ~points ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch
+    ~anchor ~seed dev ~vd =
+  if points < 2 then
+    invalid_arg (Printf.sprintf "Extract.id_vg: points = %d, need >= 2" points);
+  let vgs = Numerics.Vec.linspace vg_min vg_max points in
+  id_vg_on ~vgs ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch ~anchor ~seed dev ~vd
+
 let id_vg ?(vg_min = 0.0) ?(vg_max = 0.9) ?(points = 19) ?(warm = true) ?tol ?max_gummel
     ?max_warm_gummel dev ~vd =
+  if points < 2 then
+    invalid_arg (Printf.sprintf "Extract.id_vg: points = %d, need >= 2" points);
   let scratch = Poisson.make_scratch dev in
   let eq = Gummel.equilibrium ~scratch dev in
   fst
     (id_vg_from ~vg_min ~vg_max ~points ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch
+       ~anchor:eq ~seed:eq dev ~vd)
+
+let id_vg_at ?(warm = true) ?tol ?max_gummel ?max_warm_gummel dev ~vd ~vgs =
+  check_grid vgs;
+  let scratch = Poisson.make_scratch dev in
+  let eq = Gummel.equilibrium ~scratch dev in
+  fst
+    (id_vg_on ~vgs:(Array.copy vgs) ~warm ?tol ?max_gummel ?max_warm_gummel ~scratch
        ~anchor:eq ~seed:eq dev ~vd)
 
 (* Output characteristic: sweep the drain at fixed gate bias. *)
@@ -89,8 +121,12 @@ type output_sweep = { vg : float; vds : Numerics.Vec.t; ids : Numerics.Vec.t }
 
 let id_vd ?(vd_min = 0.0) ?(vd_max = 0.6) ?(points = 13) ?(warm = true) ?tol ?max_gummel
     ?max_warm_gummel dev ~vg =
-  if points < 2 then invalid_arg "Extract.id_vd: need at least 2 points";
-  if vd_min >= vd_max then invalid_arg "Extract.id_vd: need vd_min < vd_max";
+  if points < 2 then
+    invalid_arg (Printf.sprintf "Extract.id_vd: points = %d, need >= 2" points);
+  if vd_min >= vd_max then
+    invalid_arg
+      (Printf.sprintf "Extract.id_vd: vd_min = %g, vd_max = %g, need vd_min < vd_max"
+         vd_min vd_max);
   Obs.Trace.with_span ~cat:"tcad"
     ~attrs:[ ("vg", Obs.Trace.F vg); ("points", Obs.Trace.I points) ]
     "extract.id_vd"
@@ -289,3 +325,65 @@ let characterize_cached ?(vdd = 0.9) dev =
           ("vdd", float vdd) ])
   in
   Exec.Memo.find_or_compute characterize_memo ~key (fun () -> characterize ~vdd dev)
+
+(* --- persistent-tier codecs -------------------------------------------
+
+   Fixed-layout float vectors through Store.floats_codec, with a version
+   tag so a record written by an older layout decodes as a miss instead
+   of a shifted field.  Every float crosses the boundary as its IEEE-754
+   bits, so restarted daemons answer bit-identically to the cold
+   compute. *)
+
+module Store = Exec.Store
+
+let tagged tag (codec : float array Store.codec) =
+  {
+    Store.encode = (fun a -> tag ^ ":" ^ codec.Store.encode a);
+    decode =
+      (fun s ->
+        let tl = String.length tag in
+        if String.length s > tl + 1 && String.sub s 0 tl = tag && s.[tl] = ':' then
+          codec.Store.decode (String.sub s (tl + 1) (String.length s - tl - 1))
+        else None);
+  }
+
+let characteristics_codec : characteristics Store.codec =
+  let floats = tagged "chars/1" Store.floats_codec in
+  {
+    Store.encode =
+      (fun c ->
+        floats.Store.encode
+          [| c.ss; c.vth_lin; c.vth_sat; c.dibl; c.ioff; c.ion_sub;
+             c.on_off_ratio_sub; c.leff |]);
+    decode =
+      (fun s ->
+        match floats.Store.decode s with
+        | Some [| ss; vth_lin; vth_sat; dibl; ioff; ion_sub; on_off_ratio_sub; leff |] ->
+          Some { ss; vth_lin; vth_sat; dibl; ioff; ion_sub; on_off_ratio_sub; leff }
+        | Some _ | None -> None);
+  }
+
+let sweep_codec : sweep Store.codec =
+  let floats = tagged "sweep/1" Store.floats_codec in
+  {
+    Store.encode =
+      (fun s ->
+        let n = Array.length s.vgs in
+        floats.Store.encode
+          (Array.init ((2 * n) + 1) (fun i ->
+               if i = 0 then s.vd
+               else if i <= n then s.vgs.(i - 1)
+               else s.ids.(i - n - 1))));
+    decode =
+      (fun text ->
+        match floats.Store.decode text with
+        | Some a when Array.length a >= 3 && (Array.length a - 1) mod 2 = 0 ->
+          let n = (Array.length a - 1) / 2 in
+          Some
+            {
+              vd = a.(0);
+              vgs = Array.sub a 1 n;
+              ids = Array.sub a (n + 1) n;
+            }
+        | Some _ | None -> None);
+  }

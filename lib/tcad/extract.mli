@@ -26,7 +26,18 @@ val id_vg :
     voltages are negated internally.  [tol]/[max_gummel] tune the Gummel
     iteration at every point (defaults as {!Gummel.solve_at});
     [max_warm_gummel] bounds only the speculative warm jumps, so a lower
-    value trades continuation speed for earlier fallback. *)
+    value trades continuation speed for earlier fallback.  Raises
+    [Invalid_argument] (naming the offending value) when [points < 2]. *)
+
+val id_vg_at :
+  ?warm:bool -> ?tol:float -> ?max_gummel:int -> ?max_warm_gummel:int ->
+  Structure.t -> vd:float -> vgs:Numerics.Vec.t -> sweep
+(** As {!id_vg} over an arbitrary gate grid [vgs] — the serving layer's
+    entry point for coalesced sweeps, whose merged grids are unions of
+    linspaces rather than a linspace.  The grid must be strictly
+    increasing with at least 2 points (raises [Invalid_argument] naming
+    the offending entry otherwise); it is copied, so the caller's array
+    stays untouched. *)
 
 type output_sweep = {
   vg : float;
@@ -105,3 +116,20 @@ val characterize_cached : ?vdd:float -> Structure.t -> characteristics
     description, its mesh dimensions and [vdd]: sweep points sharing
     identical device parameters solve the TCAD decks once.  Counters appear
     as ["tcad.characterize"] in [Exec.Memo.stats]. *)
+
+val characterize_memo : characteristics Exec.Memo.t
+(** The memo table behind {!characterize_cached}, exposed so a daemon can
+    attach a persistent {!Exec.Store} tier
+    ([Exec.Memo.attach_store characterize_memo ~store
+    ~codec:characteristics_codec]). *)
+
+(** {2 Persistent-tier codecs}
+
+    Fixed-layout encodings for {!Exec.Store}: every float crosses the
+    disk boundary as its IEEE-754 bits (hex), so a restarted daemon
+    answers bit-identically to the cold compute.  Each carries a version
+    tag ([chars/1], [sweep/1]); records written by a different layout
+    decode as cache misses. *)
+
+val characteristics_codec : characteristics Exec.Store.codec
+val sweep_codec : sweep Exec.Store.codec

@@ -180,6 +180,138 @@ let test_characterize_cached () =
   let s3 = stat "tcad.characterize" in
   Alcotest.(check int) "coarser mesh is a new key" 2 s3.Memo.misses
 
+(* A cached NaN (e.g. a non-converged sentinel) must compare equal to its
+   bit-identical shadow recompute: the audit equality goes through the
+   polymorphic total order, where nan = nan holds, instead of (=), where
+   it does not.  Pre-fix, every audited hit on a NaN-carrying value fired
+   a spurious AUD012. *)
+let test_memo_nan_audit () =
+  Memo.clear_audit_violations ();
+  let t : float Memo.t = Memo.create ~name:"test.nan-audit" () in
+  let compute () = Float.nan in
+  ignore (Memo.find_or_compute t ~key:"sentinel" compute);
+  Memo.with_audit (fun () ->
+      let v = Memo.find_or_compute t ~key:"sentinel" compute in
+      Alcotest.(check bool) "cached NaN round-trips" true (Float.is_nan v));
+  Alcotest.(check (list (pair string string)))
+    "bit-identical NaN recompute is not a violation" [] (Memo.audit_violations ());
+  (* The equality must still catch genuinely diverging recomputes. *)
+  let u : float Memo.t = Memo.create ~name:"test.nan-audit.divergent" () in
+  let flip = ref 1.0 in
+  let unstable () = flip := !flip +. 1.0; !flip in
+  ignore (Memo.find_or_compute u ~key:"k" unstable);
+  Memo.with_audit (fun () -> ignore (Memo.find_or_compute u ~key:"k" unstable));
+  Alcotest.(check (list (pair string string)))
+    "divergent recompute still fires" [ ("test.nan-audit.divergent", "k") ]
+    (Memo.audit_violations ());
+  Memo.clear_audit_violations ()
+
+(* Daemon-style table churn: re-creating a table under the same name must
+   replace the registry entry (not append), so a long-running process
+   holds the registry at constant size and stats () reports one row per
+   name instead of double-counting. *)
+let test_registry_churn_bounded () =
+  let before = Memo.registry_size () in
+  let last = ref None in
+  for i = 1 to 100 do
+    let t : int Memo.t = Memo.create ~name:"test.registry.churn" () in
+    ignore (Memo.find_or_compute t ~key:"k" (fun () -> i));
+    last := Some t
+  done;
+  Alcotest.(check int) "registry grew by exactly one name" (before + 1)
+    (Memo.registry_size ());
+  let rows =
+    List.filter (fun (s : Memo.stats) -> s.Memo.name = "test.registry.churn") (Memo.stats ())
+  in
+  Alcotest.(check int) "stats reports one row for the churned name" 1 (List.length rows);
+  (match rows with
+  | [ s ] ->
+    Alcotest.(check int) "row reflects the live table, not a dropped one" 1 s.Memo.misses
+  | _ -> ());
+  (match !last with Some t -> Memo.unregister t | None -> ());
+  Alcotest.(check int) "unregister releases the slot" before (Memo.registry_size ());
+  (* unregister is keyed to the table's identity: a stale handle must not
+     evict the newer table that took over its name. *)
+  let old_t : int Memo.t = Memo.create ~name:"test.registry.stale" () in
+  let new_t : int Memo.t = Memo.create ~name:"test.registry.stale" () in
+  Memo.unregister old_t;
+  Alcotest.(check int) "stale unregister is a no-op" (before + 1) (Memo.registry_size ());
+  Memo.unregister new_t;
+  Alcotest.(check int) "owner unregister removes" before (Memo.registry_size ())
+
+(* The audit violation list is bounded; overflow is counted, not stored. *)
+let test_violations_bounded () =
+  Memo.clear_audit_violations ();
+  let t : float Memo.t = Memo.create ~name:"test.violations.bound" () in
+  let tick = ref 0.0 in
+  let unstable () = tick := !tick +. 1.0; !tick in
+  ignore (Memo.find_or_compute t ~key:"k" unstable);
+  Memo.with_audit (fun () ->
+      for _ = 1 to 300 do
+        ignore (Memo.find_or_compute t ~key:"k" unstable)
+      done);
+  Alcotest.(check int) "list capped at 256" 256 (List.length (Memo.audit_violations ()));
+  Alcotest.(check int) "overflow counted" 44 (Memo.audit_violations_dropped ());
+  Memo.clear_audit_violations ();
+  Alcotest.(check int) "clear resets the dropped count" 0 (Memo.audit_violations_dropped ())
+
+(* Two domains racing the same key: both must miss (neither can observe
+   the other's insert, because each compute blocks until both have
+   entered), the first insert wins, and the counters stay consistent.
+   The interlock cannot deadlock: a hit would require an insert, which
+   requires a compute to have returned, which requires both to have
+   entered compute — i.e. both missed. *)
+let test_memo_concurrent_same_key () =
+  let t : int Memo.t = Memo.create ~name:"test.concurrent" () in
+  let entered = Atomic.make 0 in
+  let order = Atomic.make 0 in
+  let compute () =
+    Atomic.incr entered;
+    while Atomic.get entered < 2 do
+      Domain.cpu_relax ()
+    done;
+    100 + Atomic.fetch_and_add order 1
+  in
+  let d1 = Domain.spawn (fun () -> Memo.find_or_compute t ~key:"k" compute) in
+  let d2 = Domain.spawn (fun () -> Memo.find_or_compute t ~key:"k" compute) in
+  let a = Domain.join d1 and b = Domain.join d2 in
+  Alcotest.(check bool) "both computed" true (List.sort compare [ a; b ] = [ 100; 101 ]);
+  Alcotest.(check int) "both missed" 2 (Memo.misses t);
+  Alcotest.(check int) "no hits during the race" 0 (Memo.hits t);
+  Alcotest.(check int) "one entry survives (first insert wins)" 1 (Memo.size t);
+  let cached = Memo.find_or_compute t ~key:"k" (fun () -> 999) in
+  Alcotest.(check bool) "later lookups see a raced value, not a recompute" true
+    (cached = 100 || cached = 101);
+  Alcotest.(check int) "later lookup is a hit" 1 (Memo.hits t)
+
+(* clear_all racing an in-flight compute: the reset must neither deadlock
+   (the compute runs outside the table lock) nor corrupt the table — the
+   racer's insert lands in the cleared table and later lookups hit it. *)
+let test_clear_all_races_compute () =
+  let t : int Memo.t = Memo.create ~name:"test.clear-race" () in
+  let started = Atomic.make false in
+  let release = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Memo.find_or_compute t ~key:"k" (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            7))
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Memo.clear_all ();
+  Atomic.set release true;
+  Alcotest.(check int) "in-flight compute completes" 7 (Domain.join d);
+  Alcotest.(check int) "clear during flight left misses reset" 0 (Memo.misses t);
+  Alcotest.(check int) "the in-flight insert landed" 1 (Memo.size t);
+  Alcotest.(check int) "and is served on the next lookup" 7
+    (Memo.find_or_compute t ~key:"k" (fun () -> 999));
+  Alcotest.(check int) "as a hit" 1 (Memo.hits t)
+
 (* --- Differential harness ------------------------------------------- *)
 
 let render_outputs outs =
@@ -298,6 +430,12 @@ let suite =
         case "memo: disabled scope bypasses" test_memo_disabled;
         case "memo: keys track every field" test_physical_key_sensitivity;
         case "memo: doping solve shared across runs" test_doping_memo_shared;
+        case "memo: NaN survives the audit equality" test_memo_nan_audit;
+        case "memo: registry holds size under table churn" test_registry_churn_bounded;
+        case "memo: audit violations are bounded" test_violations_bounded;
+        case "memo: concurrent same-key computes stay consistent"
+          test_memo_concurrent_same_key;
+        case "memo: clear_all races an in-flight compute" test_clear_all_races_compute;
         slow_case "memo: tcad characterization solves once" test_characterize_cached;
         slow_case "differential: paper set jobs 1 vs 4" test_differential_paper;
         slow_case "differential: extensions jobs 1 vs 4" test_differential_extensions;

@@ -5,4 +5,4 @@ let () =
      @ Test_spice.suite @ Test_circuits.suite @ Test_analysis.suite @ Test_scaling.suite
      @ Test_report.suite @ Test_experiments.suite @ Test_extensions.suite @ Test_eda.suite
      @ Test_check.suite @ Test_exec.suite @ Test_audit.suite @ Test_obs.suite
-     @ Test_lint.suite)
+     @ Test_lint.suite @ Test_serve.suite)

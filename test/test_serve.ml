@@ -1,0 +1,449 @@
+(* The serving layer: protocol round-trips, sweep-box coalescing, the
+   persistent store tier (bit-exact float round-trips, write-behind,
+   version gating), and the daemon end-to-end over a Unix socket —
+   including the restart test proving that a repeated characterization
+   query is answered from the persistent store with the same bytes as
+   the cold compute. *)
+
+open Test_util
+module Json = Subscale.Report.Json
+module Protocol = Subscale.Serve.Protocol
+module Coalesce = Subscale.Serve.Coalesce
+module Server = Subscale.Serve.Server
+module Store = Subscale.Exec.Store
+module Memo = Subscale.Exec.Memo
+module Extract = Subscale.Tcad.Extract
+
+(* --- scratch directories --------------------------------------------- *)
+
+let scratch_seq = ref 0
+
+let scratch_dir prefix =
+  incr scratch_seq;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "subscale-%s-%d-%d" prefix (Unix.getpid ()) !scratch_seq)
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+(* --- protocol --------------------------------------------------------- *)
+
+let protocol_tests =
+  [
+    case "request lines round-trip through parse" (fun () ->
+        let reqs =
+          [ Protocol.Ping;
+            Protocol.Health;
+            Protocol.Shutdown;
+            Protocol.Device { node = 90; strategy = "sub" };
+            Protocol.Tcad { node = 65; strategy = "super"; vdd = 0.9; nx = Some 24; ny = None };
+            Protocol.Idvg
+              { node = 45; strategy = "sub"; vd = 0.05; vg_min = 0.0; vg_max = 0.3;
+                points = 5; nx = None; ny = Some 20 } ]
+        in
+        List.iter
+          (fun req ->
+            let line = Protocol.render_request ~id:(Json.Num 7.0) req in
+            match Protocol.parse_request line with
+            | Ok env ->
+              Alcotest.(check bool) "request survives" true (env.Protocol.req = req);
+              Alcotest.(check bool) "id echoed" true (env.Protocol.id = Json.Num 7.0)
+            | Error msg -> Alcotest.failf "round-trip failed on %s: %s" line msg)
+          reqs);
+    case "missing id parses as Null" (fun () ->
+        match Protocol.parse_request {|{"op":"ping"}|} with
+        | Ok env -> Alcotest.(check bool) "null id" true (env.Protocol.id = Json.Null)
+        | Error msg -> Alcotest.fail msg);
+    case "unknown op and missing fields are named" (fun () ->
+        (match Protocol.parse_request {|{"op":"frobnicate"}|} with
+        | Error msg ->
+          Alcotest.(check bool) "names the op" true
+            (String.length msg > 0 && msg = {|unknown op "frobnicate"|})
+        | Ok _ -> Alcotest.fail "accepted unknown op");
+        (match Protocol.parse_request {|{"op":"device","node":90}|} with
+        | Error msg ->
+          Alcotest.(check bool) "names the field" true
+            (msg = {|missing field "strategy"|})
+        | Ok _ -> Alcotest.fail "accepted incomplete device request");
+        match Protocol.parse_request "{" with
+        | Error msg ->
+          Alcotest.(check bool) "malformed JSON reports byte offset" true
+            (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "accepted malformed JSON");
+    case "responses carry ok, id and error" (fun () ->
+        let ok = Protocol.ok_response ~id:(Json.Str "q1") [ ("x", Json.Num 1.5) ] in
+        Alcotest.(check string) "ok shape" {|{"ok":true,"id":"q1","x":1.5}|} ok;
+        let err = Protocol.error_response ~id:Json.Null "boom" in
+        Alcotest.(check string) "error shape" {|{"ok":false,"error":"boom"}|} err);
+    case "render emits floats with 17 significant digits" (fun () ->
+        let v = 0.1 +. 0.2 in
+        let rendered = Json.render (Json.Num v) in
+        match Json.parse_exn rendered with
+        | Json.Num v' ->
+          Alcotest.(check bool) "bit-exact round-trip" true
+            (Int64.bits_of_float v = Int64.bits_of_float v')
+        | _ -> Alcotest.fail "not a number");
+  ]
+
+(* --- coalescing ------------------------------------------------------- *)
+
+let box rid vd vg_min vg_max points = { Coalesce.rid; vd; vg_min; vg_max; points }
+
+let coalesce_tests =
+  [
+    case "overlapping boxes at one vd merge into one group" (fun () ->
+        let groups = Coalesce.plan [ box 0 0.05 0.0 0.2 3; box 1 0.05 0.1 0.3 3 ] in
+        Alcotest.(check int) "one group" 1 (List.length groups);
+        let g = List.hd groups in
+        Alcotest.(check int) "both members" 2 (List.length g.Coalesce.members);
+        check_increasing "merged grid strictly increasing" g.Coalesce.grid;
+        (* Every member reads its own linspace points, bit-exact, off the
+           merged grid. *)
+        List.iter
+          (fun (rid, idx) ->
+            let own = Coalesce.grid_of_box (if rid = 0 then box 0 0.05 0.0 0.2 3 else box 1 0.05 0.1 0.3 3) in
+            Array.iteri
+              (fun i j ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "member %d point %d bit-exact" rid i)
+                  true
+                  (Int64.bits_of_float own.(i) = Int64.bits_of_float g.Coalesce.grid.(j)))
+              idx)
+          g.Coalesce.members);
+    case "disjoint vg ranges stay separate" (fun () ->
+        let groups = Coalesce.plan [ box 0 0.05 0.0 0.1 3; box 1 0.05 0.5 0.6 3 ] in
+        Alcotest.(check int) "two groups" 2 (List.length groups));
+    case "transitive overlap chains into one group" (fun () ->
+        let groups =
+          Coalesce.plan [ box 0 0.05 0.0 0.2 3; box 1 0.05 0.4 0.6 3; box 2 0.05 0.15 0.45 3 ]
+        in
+        Alcotest.(check int) "bridge merges all three" 1 (List.length groups);
+        Alcotest.(check int) "three members" 3
+          (List.length (List.hd groups).Coalesce.members));
+    case "different drain biases never share a run" (fun () ->
+        let groups = Coalesce.plan [ box 0 0.05 0.0 0.2 3; box 1 0.25 0.0 0.2 3 ] in
+        Alcotest.(check int) "one group per vd" 2 (List.length groups);
+        Alcotest.(check (list (float 0.0))) "ordered by vd" [ 0.05; 0.25 ]
+          (List.map (fun g -> g.Coalesce.vd) groups));
+    case "every rid appears in exactly one group" (fun () ->
+        let boxes = List.init 7 (fun i -> box i 0.05 (0.05 *. float_of_int i) (0.05 *. float_of_int i +. 0.12) 3) in
+        let groups = Coalesce.plan boxes in
+        let rids =
+          List.concat_map (fun g -> List.map fst g.Coalesce.members) groups
+        in
+        Alcotest.(check (list int)) "partition" [ 0; 1; 2; 3; 4; 5; 6 ]
+          (List.sort compare rids));
+    case "grid_of_box guards its box" (fun () ->
+        Alcotest.check_raises "points" (Invalid_argument "Coalesce.grid_of_box: points = 1, need >= 2")
+          (fun () -> ignore (Coalesce.grid_of_box (box 0 0.05 0.0 0.2 1)));
+        Alcotest.check_raises "empty range"
+          (Invalid_argument "Coalesce.grid_of_box: vg_min = 0.2, vg_max = 0.2, need vg_min < vg_max")
+          (fun () -> ignore (Coalesce.grid_of_box (box 0 0.05 0.2 0.2 3))));
+  ]
+
+(* --- persistent store ------------------------------------------------- *)
+
+let store_tests =
+  [
+    case "payloads round-trip, overwrite and persist across reopen" (fun () ->
+        let dir = scratch_dir "store" in
+        let s = Store.open_store ~flush_threshold:1 ~dir () in
+        Alcotest.(check (option string)) "empty store misses" None
+          (Store.find s ~name:"t" ~key:"a");
+        Store.add s ~name:"t" ~key:"a" "payload-1";
+        Alcotest.(check (option string)) "written then found" (Some "payload-1")
+          (Store.find s ~name:"t" ~key:"a");
+        Store.add s ~name:"t" ~key:"a" "payload-2";
+        Alcotest.(check (option string)) "last write wins" (Some "payload-2")
+          (Store.find s ~name:"t" ~key:"a");
+        Alcotest.(check (option string)) "same key, other table, misses" None
+          (Store.find s ~name:"u" ~key:"a");
+        Store.close s;
+        let s2 = Store.open_store ~dir () in
+        Alcotest.(check (option string)) "survives reopen" (Some "payload-2")
+          (Store.find s2 ~name:"t" ~key:"a");
+        Alcotest.(check int) "one record on disk" 1 (Store.entry_count s2);
+        Store.close s2);
+    case "write-behind queues until flush" (fun () ->
+        let dir = scratch_dir "store-wb" in
+        let s = Store.open_store ~flush_threshold:100 ~dir () in
+        Store.add s ~name:"t" ~key:"a" "v";
+        Alcotest.(check int) "pending, not on disk" 1 (Store.pending s);
+        Alcotest.(check int) "no disk record yet" 0 (Store.entry_count s);
+        Alcotest.(check (option string)) "but its own add is visible" (Some "v")
+          (Store.find s ~name:"t" ~key:"a");
+        Store.flush s;
+        Alcotest.(check int) "drained" 0 (Store.pending s);
+        Alcotest.(check int) "record landed" 1 (Store.entry_count s);
+        Store.close s);
+    case "float codecs are bit-exact, including NaN and -0." (fun () ->
+        let specials =
+          [ 0.0; -0.0; 1.0 /. 3.0; Float.nan; Float.infinity; Float.neg_infinity;
+            4.9e-324; Float.max_float ]
+        in
+        List.iter
+          (fun f ->
+            match Store.float_codec.Store.decode (Store.float_codec.Store.encode f) with
+            | Some f' ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%h round-trips bit-exactly" f)
+                true
+                (Int64.bits_of_float f = Int64.bits_of_float f')
+            | None -> Alcotest.failf "%h failed to decode" f)
+          specials;
+        let a = Array.of_list specials in
+        (match Store.floats_codec.Store.decode (Store.floats_codec.Store.encode a) with
+        | Some a' ->
+          Alcotest.(check bool) "array round-trips bit-exactly" true
+            (Array.for_all2 (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y) a a')
+        | None -> Alcotest.fail "array failed to decode");
+        Alcotest.(check bool) "malformed hex is a miss" true
+          (Store.float_codec.Store.decode "zz" = None);
+        Alcotest.(check bool) "truncated array is a miss" true
+          (Store.floats_codec.Store.decode "3 0000000000000000" = None));
+    case "a corrupted record reads as a miss, not an error" (fun () ->
+        let dir = scratch_dir "store-corrupt" in
+        let s = Store.open_store ~flush_threshold:1 ~dir () in
+        Store.add s ~name:"t" ~key:"a" "good";
+        (* Find and truncate the record file on disk. *)
+        let record =
+          List.concat_map
+            (fun sub ->
+              let p = Filename.concat dir sub in
+              if String.length sub = 2 && Sys.is_directory p then
+                List.map (Filename.concat p) (Array.to_list (Sys.readdir p))
+              else [])
+            (Array.to_list (Sys.readdir dir))
+        in
+        (match record with
+        | [ path ] -> Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc "subscale-store/1\ngarbage")
+        | l -> Alcotest.failf "expected 1 record file, found %d" (List.length l));
+        Alcotest.(check (option string)) "torn record is a miss" None
+          (Store.find s ~name:"t" ~key:"a");
+        Store.close s);
+    case "a foreign version stamp is refused" (fun () ->
+        let dir = scratch_dir "store-version" in
+        Out_channel.with_open_bin (Filename.concat dir "VERSION") (fun oc ->
+            Out_channel.output_string oc "subscale-store/999\n");
+        match Store.open_store ~dir () with
+        | _ -> Alcotest.fail "opened a store with a foreign stamp"
+        | exception Failure msg ->
+          Alcotest.(check bool) "names both versions" true
+            (String.length msg > 0));
+    case "memo store tier: restart answers bit-identically without recompute" (fun () ->
+        let dir = scratch_dir "store-memo" in
+        let computes = ref 0 in
+        let compute () = incr computes; [| Float.nan; -0.0; 1.0 /. 3.0 |] in
+        (* First process lifetime: compute, write behind. *)
+        let s1 = Store.open_store ~flush_threshold:1 ~dir () in
+        let t1 : float array Memo.t = Memo.create ~name:"test.store-tier" () in
+        Memo.attach_store t1 ~store:s1 ~codec:Store.floats_codec;
+        let cold = Memo.find_or_compute t1 ~key:"k" compute in
+        Alcotest.(check int) "cold computes" 1 !computes;
+        Alcotest.(check int) "miss recorded" 1 (Memo.misses t1);
+        Memo.unregister t1;
+        Store.close s1;
+        (* Second lifetime: fresh table, reopened store. *)
+        let s2 = Store.open_store ~dir () in
+        let t2 : float array Memo.t = Memo.create ~name:"test.store-tier" () in
+        Memo.attach_store t2 ~store:s2 ~codec:Store.floats_codec;
+        let warm = Memo.find_or_compute t2 ~key:"k" compute in
+        Alcotest.(check int) "store hit computes nothing" 1 !computes;
+        Alcotest.(check int) "store hit recorded" 1 (Memo.store_hits t2);
+        Alcotest.(check int) "not a miss" 0 (Memo.misses t2);
+        Alcotest.(check bool) "bit-identical across restart (NaN and -0. included)" true
+          (Array.for_all2
+             (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+             cold warm);
+        Alcotest.(check int) "now cached in memory" 1
+          (Memo.find_or_compute t2 ~key:"k" (fun () -> [||]) |> Array.length |> fun n ->
+           if n = 3 then 1 else 0);
+        Memo.unregister t2;
+        Store.close s2);
+  ]
+
+(* --- daemon end-to-end ------------------------------------------------ *)
+
+(* Run the server in a domain, hand the test a connected line client. *)
+let with_server ?cache_dir f =
+  let dir = scratch_dir "serve-sock" in
+  let path = Filename.concat dir "s.sock" in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run
+          ~on_ready:(fun _ -> Atomic.set ready true)
+          { Server.listen = `Unix path; cache_dir })
+  in
+  while not (Atomic.get ready) do
+    Domain.cpu_relax ()
+  done;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  let send fd lines = ignore (Unix.write_substring fd (String.concat "" (List.map (fun l -> l ^ "\n") lines)) 0 (String.length (String.concat "" (List.map (fun l -> l ^ "\n") lines)))) in
+  let recv =
+    let bufs = Hashtbl.create 4 in
+    fun fd ->
+      let buf =
+        match Hashtbl.find_opt bufs fd with
+        | Some b -> b
+        | None ->
+          let b = Buffer.create 256 in
+          Hashtbl.add bufs fd b;
+          b
+      in
+      let bytes = Bytes.create 4096 in
+      let rec go () =
+        let text = Buffer.contents buf in
+        match String.index_opt text '\n' with
+        | Some i ->
+          Buffer.clear buf;
+          Buffer.add_substring buf text (i + 1) (String.length text - i - 1);
+          String.sub text 0 i
+        | None ->
+          let n = Unix.read fd bytes 0 4096 in
+          if n = 0 then Alcotest.fail "server closed the connection";
+          Buffer.add_subbytes buf bytes 0 n;
+          go ()
+      in
+      go ()
+  in
+  let result = f ~connect ~send ~recv in
+  Domain.join server;
+  result
+
+let expect_ok line =
+  match Json.parse_exn line with
+  | j ->
+    (match Json.field "ok" j with
+    | Json.Bool true -> j
+    | _ -> Alcotest.failf "not an ok response: %s" line)
+  | exception Json.Bad msg -> Alcotest.failf "bad response %s: %s" line msg
+
+let serve_tests =
+  [
+    slow_case "daemon: inline ops, compute ops and shutdown over a socket" (fun () ->
+        Memo.clear_all ();
+        with_server (fun ~connect ~send ~recv ->
+            let fd = connect () in
+            send fd [ {|{"op":"ping","id":1}|} ];
+            let pong = expect_ok (recv fd) in
+            Alcotest.(check bool) "id echoed" true (Json.field "id" pong = Json.Num 1.0);
+            send fd [ {|{"op":"device","node":90,"strategy":"sub","id":2}|} ];
+            let dev = expect_ok (recv fd) in
+            Alcotest.(check bool) "evaluation has ss" true
+              (Json.as_number "ss" (Json.field "ss" dev) > 0.0);
+            send fd [ {|{"op":"device","node":14,"strategy":"sub"}|} ];
+            (match Json.field "ok" (Json.parse_exn (recv fd)) with
+            | Json.Bool false -> ()
+            | _ -> Alcotest.fail "unknown node should error");
+            (* A degenerate sweep box must come back as an error response,
+               not crash the planner (and the daemon with it). *)
+            send fd
+              [ {|{"op":"idvg","node":90,"strategy":"sub","vd":0.05,"vg_min":0.0,"vg_max":0.3,"points":1,"id":3}|} ];
+            let bad = Json.parse_exn (recv fd) in
+            (match (Json.field "ok" bad, Json.field "error" bad) with
+            | Json.Bool false, Json.Str msg ->
+              Alcotest.(check string) "planner guard reaches the client"
+                "Coalesce.grid_of_box: points = 1, need >= 2" msg
+            | _ -> Alcotest.failf "degenerate box not rejected: %s" (Json.render bad));
+            send fd [ {|{"op":"ping","id":4}|} ];
+            ignore (expect_ok (recv fd));
+            (* Two overlapping Id-Vg boxes written in one packet arrive in
+               one batch and coalesce into a single warm-started run. *)
+            let idvg vg_min vg_max id =
+              Printf.sprintf
+                {|{"op":"idvg","node":90,"strategy":"sub","vd":0.05,"vg_min":%g,"vg_max":%g,"points":3,"nx":24,"ny":20,"id":%d}|}
+                vg_min vg_max id
+            in
+            send fd [ idvg 0.0 0.2 10; idvg 0.1 0.3 11 ];
+            let r1 = expect_ok (recv fd) in
+            let r2 = expect_ok (recv fd) in
+            Alcotest.(check bool) "responses in request order" true
+              (Json.field "id" r1 = Json.Num 10.0 && Json.field "id" r2 = Json.Num 11.0);
+            let vgs r =
+              List.map (Json.as_number "vg") (Json.as_list "vgs" (Json.field "vgs" r))
+            in
+            Alcotest.(check (list (float 0.0))) "first box got its own grid"
+              (Array.to_list (Subscale.Numerics.Vec.linspace 0.0 0.2 3))
+              (vgs r1);
+            Alcotest.(check (list (float 0.0))) "second box got its own grid"
+              (Array.to_list (Subscale.Numerics.Vec.linspace 0.1 0.3 3))
+              (vgs r2);
+            let idvg_stat =
+              List.find
+                (fun (s : Memo.stats) -> s.Memo.name = "serve.idvg")
+                (Memo.stats ())
+            in
+            Alcotest.(check int) "one coalesced solve for both boxes" 1
+              idvg_stat.Memo.misses;
+            send fd [ {|{"op":"shutdown"}|} ];
+            ignore (expect_ok (recv fd));
+            Unix.close fd));
+    slow_case "daemon: restarted process answers from the store, bit-identically"
+      (fun () ->
+        Memo.clear_all ();
+        let cache_dir = scratch_dir "serve-cache" in
+        let query =
+          {|{"op":"tcad","node":90,"strategy":"sub","vdd":0.9,"nx":24,"ny":20,"id":1}|}
+        in
+        let run_once () =
+          with_server ~cache_dir (fun ~connect ~send ~recv ->
+              let fd = connect () in
+              send fd [ query ];
+              let response = recv fd in
+              send fd [ {|{"op":"health"}|} ];
+              let health = expect_ok (recv fd) in
+              send fd [ {|{"op":"shutdown"}|} ];
+              ignore (expect_ok (recv fd));
+              Unix.close fd;
+              (response, health))
+        in
+        let cold_response, cold_health = run_once () in
+        ignore (expect_ok cold_response);
+        (* Drop the in-memory tier: a restarted daemon has fresh tables. *)
+        Memo.clear_all ();
+        let warm_response, warm_health = run_once () in
+        Alcotest.(check string) "same bytes as the cold compute" cold_response
+          warm_response;
+        let memo_row health name field =
+          Json.as_list "memo" (Json.field "memo" health)
+          |> List.find_map (fun row ->
+                 if Json.field "name" row = Json.Str name then
+                   Some (Json.as_int field (Json.field field row))
+                 else None)
+          |> Option.get
+        in
+        Alcotest.(check int) "cold run computed" 1
+          (memo_row cold_health "tcad.characterize" "misses");
+        Alcotest.(check int) "restarted run hit the store" 1
+          (memo_row warm_health "tcad.characterize" "store_hits");
+        Alcotest.(check int) "restarted run recomputed nothing" 0
+          (memo_row warm_health "tcad.characterize" "misses");
+        let store_field health f =
+          Json.as_int f (Json.field f (Json.field "store" health))
+        in
+        Alcotest.(check int) "store served one hit" 1 (store_field warm_health "hits");
+        Alcotest.(check bool) "store kept its record" true
+          (store_field warm_health "entries" >= 1));
+  ]
+
+let suite =
+  [
+    ("serve.protocol", protocol_tests);
+    ("serve.coalesce", coalesce_tests);
+    ("serve.store", store_tests);
+    ("serve.daemon", serve_tests);
+  ]

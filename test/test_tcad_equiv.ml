@@ -180,11 +180,48 @@ let grid_tests =
         Alcotest.(check bool)
           "Id(0) negligible" true
           (Float.abs out.Extract.ids.(0) < Float.abs out.Extract.ids.(2) *. 1e-3));
-    u "id_vd rejects an empty drain interval" (fun () ->
+    u "id_vd rejects an empty drain interval, naming the bounds" (fun () ->
         let dev = small_dev 90 in
         Alcotest.check_raises "vd_min >= vd_max"
-          (Invalid_argument "Extract.id_vd: need vd_min < vd_max") (fun () ->
-            ignore (Extract.id_vd ~vd_min:0.4 ~vd_max:0.4 dev ~vg:0.3)));
+          (Invalid_argument
+             "Extract.id_vd: vd_min = 0.4, vd_max = 0.4, need vd_min < vd_max")
+          (fun () -> ignore (Extract.id_vd ~vd_min:0.4 ~vd_max:0.4 dev ~vg:0.3)));
+    (* The degenerate-points guards must fire before any solve (linspace
+       with points < 2 divides by points - 1) and name the offending
+       value, PR 8 shape-guard style. *)
+    u "id_vg rejects points < 2, naming the value" (fun () ->
+        let dev = small_dev 90 in
+        Alcotest.check_raises "points = 1"
+          (Invalid_argument "Extract.id_vg: points = 1, need >= 2") (fun () ->
+            ignore (Extract.id_vg ~points:1 dev ~vd:0.05));
+        Alcotest.check_raises "points = 0"
+          (Invalid_argument "Extract.id_vg: points = 0, need >= 2") (fun () ->
+            ignore (Extract.id_vg ~points:0 dev ~vd:0.05)));
+    u "id_vd rejects points < 2, naming the value" (fun () ->
+        let dev = small_dev 90 in
+        Alcotest.check_raises "points = 1"
+          (Invalid_argument "Extract.id_vd: points = 1, need >= 2") (fun () ->
+            ignore (Extract.id_vd ~points:1 dev ~vg:0.3)));
+    u "id_vg_at rejects a non-increasing grid, naming the entries" (fun () ->
+        let dev = small_dev 90 in
+        Alcotest.check_raises "descending pair"
+          (Invalid_argument
+             "Extract.id_vg: vgs.(1) = 0.3 >= vgs.(2) = 0.2, grid must be strictly increasing")
+          (fun () -> ignore (Extract.id_vg_at dev ~vd:0.05 ~vgs:[| 0.1; 0.3; 0.2 |]));
+        Alcotest.check_raises "single point"
+          (Invalid_argument "Extract.id_vg: points = 1, need >= 2") (fun () ->
+            ignore (Extract.id_vg_at dev ~vd:0.05 ~vgs:[| 0.1 |])));
+    u "id_vg_at on a linspace grid is bit-identical to id_vg" (fun () ->
+        let dev = small_dev 45 in
+        let vg_min = 0.1 and vg_max = 0.4 and points = 4 in
+        let a = Extract.id_vg ~vg_min ~vg_max ~points ~tol ~max_gummel dev ~vd:0.1 in
+        let b =
+          Extract.id_vg_at ~tol ~max_gummel dev ~vd:0.1
+            ~vgs:(Numerics.Vec.linspace vg_min vg_max points)
+        in
+        Alcotest.(check bool) "same gate grid" true (a.Extract.vgs = b.Extract.vgs);
+        Alcotest.(check bool) "same currents, same bits" true
+          (a.Extract.ids = b.Extract.ids));
   ]
 
 (* --- golden sweeps on the full 45 nm mesh ------------------------------ *)
