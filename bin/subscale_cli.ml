@@ -1253,7 +1253,11 @@ let lint_cmd =
 
 let serve_cmd =
   let socket_arg =
-    let doc = "Listen on a Unix-domain socket at $(docv) (an existing socket file is replaced)." in
+    let doc =
+      "Listen on a Unix-domain socket at $(docv). A stale socket file left by a \
+       crashed daemon is replaced; if the path holds anything other than a socket, \
+       or a daemon is still listening on it, serve refuses to start."
+    in
     Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
   in
   let port_arg =
@@ -1283,8 +1287,16 @@ let serve_cmd =
       | Some dir -> Printf.printf "subscale serve: persistent cache at %s\n%!" dir
       | None -> ()
     in
-    Subscale.Serve.Server.run ~on_ready
-      { Subscale.Serve.Server.listen; cache_dir = cache }
+    match
+      Subscale.Serve.Server.run ~on_ready
+        { Subscale.Serve.Server.listen; cache_dir = cache }
+    with
+    | () -> ()
+    | exception Failure msg ->
+      (* Bind refusals (non-socket at --socket path, live daemon) are
+         user errors, not internal ones. *)
+      Printf.eprintf "%s\n" msg;
+      exit 2
   in
   let doc = "Serve characterization queries over a socket (line-delimited JSON)" in
   let man =

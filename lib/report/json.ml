@@ -13,6 +13,12 @@ type t =
 
 exception Bad of string
 
+(* Recursion cap for the recursive-descent parser: the subscale schemas
+   nest a handful of levels, so any input deeper than this is hostile or
+   corrupt.  Failing with [Bad] keeps a daemon's parse step total — a
+   deliberately deep line must not escape as [Stack_overflow]. *)
+let max_depth = 64
+
 let escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -112,7 +118,20 @@ let parse_exn s =
         | Some 'u' ->
           advance ();
           if !pos + 4 > n then fail "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          let hex = String.sub s !pos 4 in
+          let is_hex = function
+            | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+            | _ -> false
+          in
+          (* [int_of_string] accepts signs and underscores, so the digits
+             are vetted first and the parse stays a [Bad], never a
+             [Failure], on hostile input. *)
+          if not (String.for_all is_hex hex) then fail "malformed \\u escape";
+          let code =
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some c -> c
+            | None -> fail "malformed \\u escape"
+          in
           pos := !pos + 4;
           (* The schemas are ASCII; escapes only ever encode control bytes. *)
           if code < 0x80 then Buffer.add_char buf (Char.chr code)
@@ -141,7 +160,8 @@ let parse_exn s =
     | Some f -> f
     | None -> fail "malformed number"
   in
-  let rec value () =
+  let rec value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | Some '{' ->
@@ -157,7 +177,7 @@ let parse_exn s =
           let key = string_lit () in
           skip_ws ();
           expect ':';
-          let v = value () in
+          let v = value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -179,7 +199,7 @@ let parse_exn s =
       end
       else begin
         let rec elems acc =
-          let v = value () in
+          let v = value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' ->
@@ -199,7 +219,7 @@ let parse_exn s =
     | Some _ -> Num (number ())
     | None -> fail "unexpected end of input"
   in
-  let v = value () in
+  let v = value 0 in
   skip_ws ();
   if !pos <> n then fail "trailing garbage";
   v

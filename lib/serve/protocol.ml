@@ -29,10 +29,31 @@ type envelope = { id : Json.t; req : request }
 
 (* --- parsing ---------------------------------------------------------- *)
 
+(* Resource bounds, enforced at parse time.  [points] sizes a linspace
+   allocation and [nx]/[ny] size a mesh (and [nx = 0] would divide the
+   mesher's minimum spacing by zero), so unbounded client values are a
+   daemon-killer: a hostile request must come back as an error response
+   before it can allocate anything. *)
+let max_points = 4096
+let min_mesh = 4
+let max_mesh = 512
+
+let bounded what ~lo ~hi v =
+  if v < lo || v > hi then
+    raise (Json.Bad (Printf.sprintf "%s = %d out of bounds [%d, %d]" what v lo hi));
+  v
+
+let capped what ~max v =
+  if v > max then
+    raise (Json.Bad (Printf.sprintf "%s = %d exceeds the maximum %d" what v max));
+  v
+
 let opt_int what j name =
   match Json.member name j with
   | None | Some Json.Null -> None
-  | Some v -> Some (Json.as_int (what ^ "." ^ name) v)
+  | Some v ->
+    let label = what ^ "." ^ name in
+    Some (bounded label ~lo:min_mesh ~hi:max_mesh (Json.as_int label v))
 
 let req_int j name = Json.as_int name (Json.field name j)
 let req_num j name = Json.as_number name (Json.field name j)
@@ -63,7 +84,9 @@ let request_of_json j =
         vd = req_num j "vd";
         vg_min = req_num j "vg_min";
         vg_max = req_num j "vg_max";
-        points = req_int j "points";
+        (* The lower bound (>= 2) stays with [Coalesce.grid_of_box], which
+           also vets the vg range; only the allocation cap lives here. *)
+        points = capped "points" ~max:max_points (req_int j "points");
         nx = opt_int "idvg" j "nx";
         ny = opt_int "idvg" j "ny";
       }

@@ -143,45 +143,49 @@ let sweep_key dev ~vd grid =
         ( "vgs",
           String.concat "," (List.map float (Array.to_list grid)) ) ])
 
-(* One catch-all per job: any solver failure (non-convergence, window
-   too narrow for slope extraction, guard trips) must become an error
-   response on every slot the job owns — a daemon that leaks an
-   exception out of a query dies for all its clients. *)
-let run_job job : (slot * string) list =
+let job_slots = function
+  | J_char { slots; _ } -> slots
+  | J_sweep { members; _ } -> List.map fst members
+
+let run_job_exn job : (slot * string) list =
   match job with
   | J_char { node; strategy; vdd; nx; ny; slots } ->
     let answer =
       match build_structure ~node ~strategy ~nx ~ny with
       | Error msg -> fun slot -> Protocol.error_response ~id:slot.echo msg
-      | Ok dev -> (
-        match Tcad.Extract.characterize_cached ~vdd dev with
-        | ch ->
-          fun slot -> Protocol.ok_response ~id:slot.echo (characteristics_fields ch)
-        | exception e ->
-          let msg = Printexc.to_string e in
-          fun slot -> Protocol.error_response ~id:slot.echo msg)
+      | Ok dev ->
+        let ch = Tcad.Extract.characterize_cached ~vdd dev in
+        fun slot -> Protocol.ok_response ~id:slot.echo (characteristics_fields ch)
     in
     List.map (fun slot -> (slot, answer slot)) slots
   | J_sweep { node; strategy; nx; ny; vd; grid; members } ->
     let answer =
       match build_structure ~node ~strategy ~nx ~ny with
       | Error msg -> fun slot _ -> Protocol.error_response ~id:slot.echo msg
-      | Ok dev -> (
-        match
+      | Ok dev ->
+        let sweep =
           Exec.Memo.find_or_compute idvg_memo ~key:(sweep_key dev ~vd grid) (fun () ->
               Tcad.Extract.id_vg_at dev ~vd ~vgs:grid)
-        with
-        | sweep ->
-          fun slot idx ->
-            Protocol.ok_response ~id:slot.echo
-              [ ("vd", num vd);
-                ("vgs", arr_of_floats (Array.map (fun i -> sweep.Tcad.Extract.vgs.(i)) idx));
-                ("ids", arr_of_floats (Array.map (fun i -> sweep.Tcad.Extract.ids.(i)) idx)) ]
-        | exception e ->
-          let msg = Printexc.to_string e in
-          fun slot _ -> Protocol.error_response ~id:slot.echo msg)
+        in
+        fun slot idx ->
+          Protocol.ok_response ~id:slot.echo
+            [ ("vd", num vd);
+              ("vgs", arr_of_floats (Array.map (fun i -> sweep.Tcad.Extract.vgs.(i)) idx));
+              ("ids", arr_of_floats (Array.map (fun i -> sweep.Tcad.Extract.ids.(i)) idx)) ]
     in
     List.map (fun (slot, idx) -> (slot, answer slot idx)) members
+
+(* One catch-all around the WHOLE per-job body: any failure — structure
+   build (mesher guards), solver non-convergence, slope-extraction
+   window, guard trips — must become an error response on every slot
+   the job owns.  [Exec.map] propagates exceptions like [List.map], so
+   a job that leaks one kills the daemon for all its clients. *)
+let run_job job : (slot * string) list =
+  match run_job_exn job with
+  | results -> results
+  | exception e ->
+    let msg = Printexc.to_string e in
+    List.map (fun slot -> (slot, Protocol.error_response ~id:slot.echo msg)) (job_slots job)
 
 (* Batch planning: identical characterizations collapse to one J_char;
    Id-Vg boxes coalesce per device via Coalesce.plan.  Degenerate boxes
@@ -272,16 +276,27 @@ type conn = {
 
 let read_chunk_size = 4096
 
+(* A request line the parser will ever accept is tiny; a connection
+   whose unterminated line outgrows this is hostile or broken, and the
+   only safe answer is to drop it — buffering an unbounded line is a
+   memory DoS. *)
+let max_line_length = 1 lsl 20
+
 (* Returns the complete lines newly available on [c]; leaves the final
-   partial line buffered.  Marks the connection dead on EOF or reset. *)
+   partial line buffered.  Marks the connection dead on EOF, on any
+   read error (ECONNRESET, EIO, ETIMEDOUT, ... — to the daemon they are
+   all just "this client is gone"; EINTR alone is a retry), and on an
+   oversized line. *)
 let read_lines c =
   let bytes = Bytes.create read_chunk_size in
   let n =
     match Unix.read c.fd bytes 0 read_chunk_size with
     | n -> n
-    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> -1
+    | exception Unix.Unix_error (_, _, _) -> 0
   in
-  if n = 0 then begin
+  if n < 0 then []
+  else if n = 0 then begin
     c.alive <- false;
     []
   end
@@ -299,6 +314,7 @@ let read_lines c =
       text;
     Buffer.clear c.pending;
     Buffer.add_substring c.pending text !start (String.length text - !start);
+    if Buffer.length c.pending > max_line_length then c.alive <- false;
     List.rev !lines
   end
 
@@ -306,18 +322,47 @@ let write_all c s =
   let data = s ^ "\n" in
   let len = String.length data in
   let off = ref 0 in
+  (* EINTR is a retry; any other write error (EPIPE, ECONNRESET, EIO,
+     ...) means this client is gone — and that must never take the
+     daemon with it. *)
   (try
      while !off < len do
-       off := !off + Unix.write_substring c.fd data !off (len - !off)
+       match Unix.write_substring c.fd data !off (len - !off) with
+       | n -> off := !off + n
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
      done
-   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> c.alive <- false);
+   with Unix.Unix_error (_, _, _) -> c.alive <- false);
   ()
 
 (* --- the loop --------------------------------------------------------- *)
 
+(* A stale socket file from a crashed daemon is replaced; anything else
+   at the path is refused.  Deleting blindly would turn a typo'd
+   [--socket] into data loss (an unrelated regular file) or a
+   denial-of-service (a live daemon's socket yanked out from under
+   it). *)
+let prepare_unix_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false
+    in
+    Unix.close probe;
+    if live then
+      failwith (Printf.sprintf "subscale serve: a daemon is already listening on %s" path);
+    Sys.remove path
+  | _ ->
+    failwith
+      (Printf.sprintf "subscale serve: %s already exists and is not a socket; refusing to delete it"
+         path)
+
 let bind_listener = function
   | `Unix path ->
-    if Sys.file_exists path then Sys.remove path;
+    prepare_unix_path path;
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind fd (Unix.ADDR_UNIX path);
     (fd, fun () -> if Sys.file_exists path then Sys.remove path)
@@ -375,7 +420,11 @@ let run ?on_ready config =
                 next_seq = 0;
                 alive = true;
               }
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (_, _, _) ->
+            (* EINTR, ECONNABORTED, and fd exhaustion (EMFILE/ENFILE)
+               are all transient accept failures: skip this round rather
+               than kill the daemon for every connected client. *)
+            ()
         end
         else
           match Hashtbl.find_opt conns fd with

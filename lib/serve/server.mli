@@ -13,8 +13,11 @@
 
 type config = {
   listen : [ `Unix of string | `Tcp of string * int ];
-      (** [`Unix path] (an existing socket file is replaced) or
-          [`Tcp (host, port)]; port 0 binds an ephemeral port. *)
+      (** [`Unix path] or [`Tcp (host, port)]; port 0 binds an ephemeral
+          port.  A stale socket file left at [path] by a crashed daemon
+          is replaced; binding fails (with [Failure]) if the path holds
+          anything other than a socket, or if a live daemon still
+          answers on it. *)
   cache_dir : string option;
       (** When set, an {!Exec.Store} opened here backs the
           characterization and sweep memo tables: queries answered on one

@@ -14,6 +14,11 @@ module Store = Subscale.Exec.Store
 module Memo = Subscale.Exec.Memo
 module Extract = Subscale.Tcad.Extract
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
 (* --- scratch directories --------------------------------------------- *)
 
 let scratch_seq = ref 0
@@ -92,6 +97,49 @@ let protocol_tests =
           Alcotest.(check bool) "bit-exact round-trip" true
             (Int64.bits_of_float v = Int64.bits_of_float v')
         | _ -> Alcotest.fail "not a number");
+    case "hostile JSON is a parse error, never an escaping exception" (fun () ->
+        (* A non-hex \u escape used to raise Failure out of
+           int_of_string — past the Json.Bad handler and through the
+           daemon's parse step. *)
+        (match Protocol.parse_request {|{"op":"ping","id":"\uZZZZ"}|} with
+        | Error msg ->
+          Alcotest.(check bool) "malformed escape is a Bad" true
+            (contains ~sub:"escape" msg)
+        | Ok _ -> Alcotest.fail "accepted a malformed \\u escape");
+        (* int_of_string would also take signs and underscores. *)
+        (match Protocol.parse_request {|{"op":"ping","id":"\u-1_2"}|} with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "accepted a signed \\u escape");
+        (match Json.parse {|"\u0041"|} with
+        | Ok (Json.Str "A") -> ()
+        | _ -> Alcotest.fail "a well-formed \\u escape must still decode");
+        (* A deliberately deep line must be a Bad, not Stack_overflow. *)
+        match Json.parse (String.make 100_000 '[') with
+        | Error msg ->
+          Alcotest.(check bool) "depth cap names itself" true
+            (contains ~sub:"nesting too deep" msg)
+        | Ok _ -> Alcotest.fail "parsed an unterminated tower of arrays");
+    case "resource bounds are enforced at parse time" (fun () ->
+        let expect_error line sub =
+          match Protocol.parse_request line with
+          | Error msg ->
+            Alcotest.(check bool) (Printf.sprintf "rejected via %S" sub) true
+              (contains ~sub msg)
+          | Ok _ -> Alcotest.failf "accepted %s" line
+        in
+        expect_error
+          {|{"op":"idvg","node":90,"strategy":"sub","vd":0.05,"vg_min":0.0,"vg_max":0.3,"points":100000}|}
+          "points = 100000 exceeds the maximum 4096";
+        expect_error {|{"op":"tcad","node":90,"strategy":"sub","nx":0}|}
+          "tcad.nx = 0 out of bounds [4, 512]";
+        expect_error
+          {|{"op":"idvg","node":90,"strategy":"sub","vd":0.05,"vg_min":0.0,"vg_max":0.3,"points":5,"ny":100000}|}
+          "idvg.ny = 100000 out of bounds [4, 512]";
+        match
+          Protocol.parse_request {|{"op":"tcad","node":90,"strategy":"sub","nx":24,"ny":20}|}
+        with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "in-range mesh rejected: %s" msg);
   ]
 
 (* --- coalescing ------------------------------------------------------- *)
@@ -438,6 +486,89 @@ let serve_tests =
         Alcotest.(check int) "store served one hit" 1 (store_field warm_health "hits");
         Alcotest.(check bool) "store kept its record" true
           (store_field warm_health "entries" >= 1));
+    case "daemon: hostile input gets error responses, not a dead daemon" (fun () ->
+        with_server (fun ~connect ~send ~recv ->
+            let fd = connect () in
+            let expect_error line =
+              send fd [ line ];
+              match Json.field "ok" (Json.parse_exn (recv fd)) with
+              | Json.Bool false -> ()
+              | _ -> Alcotest.failf "hostile line was accepted: %s" line
+            in
+            (* Failure out of the \u decoder used to escape the parse
+               step and kill the daemon. *)
+            expect_error {|{"op":"ping","id":"\uZZZZ"}|};
+            (* ... as did Stack_overflow out of the reader ... *)
+            expect_error (String.make 100_000 '[');
+            (* ... and nx = 0 reaching the mesher as a division by zero
+               inside run_job, past its solver-only exception guard. *)
+            expect_error {|{"op":"tcad","node":90,"strategy":"sub","nx":0,"id":2}|};
+            expect_error
+              {|{"op":"idvg","node":90,"strategy":"sub","vd":0.05,"vg_min":0.0,"vg_max":0.3,"points":100000}|};
+            (* A connection that streams an unterminated line past the
+               cap is dropped — and only that connection. *)
+            let hog = connect () in
+            (try send hog [ String.make (2 * 1024 * 1024) 'x' ] with
+            | Unix.Unix_error (_, _, _) -> ());
+            (let b = Bytes.create 1 in
+             match Unix.read hog b 0 1 with
+             | 0 -> ()
+             | _ -> Alcotest.fail "oversized-line connection not dropped"
+             | exception Unix.Unix_error (_, _, _) -> ());
+            Unix.close hog;
+            (* The daemon is still alive and serving. *)
+            send fd [ {|{"op":"ping","id":9}|} ];
+            let pong = expect_ok (recv fd) in
+            Alcotest.(check bool) "id echoed after the assault" true
+              (Json.field "id" pong = Json.Num 9.0);
+            send fd [ {|{"op":"shutdown"}|} ];
+            ignore (expect_ok (recv fd));
+            Unix.close fd));
+    case "daemon: a non-socket at the socket path is refused, not deleted" (fun () ->
+        let dir = scratch_dir "serve-guard" in
+        let path = Filename.concat dir "precious.txt" in
+        Out_channel.with_open_bin path (fun oc ->
+            Out_channel.output_string oc "not a socket");
+        (match Server.run { Server.listen = `Unix path; cache_dir = None } with
+        | () -> Alcotest.fail "served on top of a regular file"
+        | exception Failure msg ->
+          Alcotest.(check bool) "refusal names the path" true (contains ~sub:path msg));
+        Alcotest.(check bool) "the file survives" true (Sys.file_exists path);
+        Alcotest.(check string) "with its bytes intact" "not a socket"
+          (In_channel.with_open_bin path In_channel.input_all));
+    case "daemon: a stale socket file is replaced, a live one is refused" (fun () ->
+        let dir = scratch_dir "serve-stale" in
+        let path = Filename.concat dir "s.sock" in
+        (* A crashed daemon's leftover: a bound socket file nobody is
+           listening on. *)
+        let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind stale (Unix.ADDR_UNIX path);
+        Unix.close stale;
+        let ready = Atomic.make false in
+        let server =
+          Domain.spawn (fun () ->
+              Server.run
+                ~on_ready:(fun _ -> Atomic.set ready true)
+                { Server.listen = `Unix path; cache_dir = None })
+        in
+        while not (Atomic.get ready) do
+          Domain.cpu_relax ()
+        done;
+        (* Now that a daemon IS listening, a second instance must refuse
+           to yank its socket. *)
+        (match Server.run { Server.listen = `Unix path; cache_dir = None } with
+        | () -> Alcotest.fail "second daemon stole a live socket"
+        | exception Failure msg ->
+          Alcotest.(check bool) "refusal names the live daemon" true
+            (contains ~sub:"already listening" msg));
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        let line = {|{"op":"shutdown"}|} ^ "\n" in
+        ignore (Unix.write_substring fd line 0 (String.length line));
+        let b = Bytes.create 256 in
+        ignore (Unix.read fd b 0 256);
+        Unix.close fd;
+        Domain.join server);
   ]
 
 let suite =
