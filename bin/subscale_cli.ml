@@ -994,7 +994,7 @@ let lint_selftest () =
     exit 1
   end;
   print_endline
-    "lint selftest: every LNT, UNT and ALS rule fires on its crafted source, near-misses stay clean"
+    "lint selftest: every LNT, UNT, ALS and RAC rule fires on its crafted source, near-misses stay clean"
 
 let lint_update_baseline ~baseline_path (app : L.Baseline.application) old_baseline =
   (* Keep the justification of every entry that still matches; new findings
@@ -1073,7 +1073,7 @@ let lint_cmd =
   let selftest =
     let doc =
       "Run the linter's own test: crafted sources compiled on the fly must \
-       each fire exactly their LNT/UNT/ALS rule, the near-misses must stay \
+       each fire exactly their LNT/UNT/ALS/RAC rule, the near-misses must stay \
        clean, and the rule-id registry and unit signature table must validate."
     in
     Arg.(value & flag & info [ "selftest" ] ~doc)
@@ -1081,7 +1081,8 @@ let lint_cmd =
   let strict =
     let doc =
       "Exit non-zero on warnings, stale baseline entries, TODO-justified \
-       baseline entries and advisory UNT/ALS errors too, not only LNT errors."
+       baseline entries and advisory UNT/ALS/RAC errors too, not only LNT \
+       errors."
     in
     Arg.(value & flag & info [ "strict" ] ~doc)
   in
@@ -1101,6 +1102,15 @@ let lint_cmd =
     in
     let off = "Skip the ALS buffer-ownership pass." in
     Arg.(value & vflag true [ (true, info [ "alias" ] ~doc:on); (false, info [ "no-alias" ] ~doc:off) ])
+  in
+  let races =
+    let on =
+      "Run the RAC lockset/race-analysis pass (the default): held-lockset \
+       walk and effect summaries over the whole --root tree.  RAC errors are \
+       advisory unless $(b,--strict)."
+    in
+    let off = "Skip the RAC lockset/race-analysis pass." in
+    Arg.(value & vflag true [ (true, info [ "races" ] ~doc:on); (false, info [ "no-races" ] ~doc:off) ])
   in
   let format =
     let doc =
@@ -1136,7 +1146,7 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "update-baseline" ] ~doc)
   in
-  let run () selftest strict units alias format rules baseline_path root update =
+  let run () selftest strict units alias races format rules baseline_path root update =
     if rules then print_string (L.rules_markdown ())
     else if selftest then lint_selftest ()
     else begin
@@ -1147,7 +1157,7 @@ let lint_cmd =
           root;
         exit 2
       end;
-      let reports = L.lint_root ~units ~alias root in
+      let reports = L.lint_root ~units ~alias ~races root in
       let baseline =
         match L.Baseline.load baseline_path with
         | b -> b
@@ -1192,12 +1202,14 @@ let lint_cmd =
         let kept = app.L.Baseline.kept in
         let _, w, _ = Diag.count kept in
         note "lint: %s\n" (Diag.summary kept);
-        (* UNT dimensional and ALS ownership errors are advisory until
-           --strict: both passes are young and their tables grow with the
-           model chain, so only the strict (CI) mode lets them gate. *)
+        (* UNT dimensional, ALS ownership and RAC lockset errors are
+           advisory until --strict: the passes are young and their tables
+           grow with the model chain, so only the strict (CI) mode lets
+           them gate. *)
         let is_advisory (d : Diag.t) =
           String.length d.Diag.rule >= 3
-          && (String.sub d.Diag.rule 0 3 = "UNT" || String.sub d.Diag.rule 0 3 = "ALS")
+          && (String.sub d.Diag.rule 0 3 = "UNT" || String.sub d.Diag.rule 0 3 = "ALS"
+              || String.sub d.Diag.rule 0 3 = "RAC")
         in
         let lnt_code = Diag.exit_code (List.filter (fun d -> not (is_advisory d)) kept) in
         exit
@@ -1240,16 +1252,26 @@ let lint_cmd =
           (ALS001), solver scratch escaping or shared by overlapping solves \
           (ALS002), output buffers aliasing inputs (ALS003) and returned \
           buffers that are also retained (ALS004, $(b,[@owned]) to assert).";
+      `P "The RAC series (on by default, $(b,--no-races) to skip) runs an \
+          interprocedural lockset and domain-safety analysis over the \
+          concurrent exec/serve stack: per-function may-raise/may-block/\
+          acquires summaries to fixpoint, a held-lockset walk of every body, \
+          and domain-crossing reachability from Exec.map/Pool.map/\
+          Domain.spawn closures — shared state with an inconsistent lockset \
+          (RAC001), exception-unsafe critical sections (RAC002), \
+          self-deadlock and lock-order inversion (RAC003), torn atomic \
+          read-modify-writes (RAC004) and blocking syscalls under a lock \
+          (RAC005, $(b,[@blocking_ok]) to assert).";
       `P "Exit code 0 when no non-baselined LNT errors were found (warnings \
-          and advisory UNT/ALS errors allowed unless $(b,--strict)), 1 \
+          and advisory UNT/ALS/RAC errors allowed unless $(b,--strict)), 1 \
           otherwise.  Like $(b,check) and $(b,audit), findings are structured \
           diagnostics with registry-minted rule ids; $(b,--format json) \
           emits one finding per line for the CI problem matcher." ]
   in
   Cmd.v (Cmd.info "lint" ~doc ~man)
     Term.(
-      const run $ log_term $ selftest $ strict $ units $ alias $ format $ rules
-      $ baseline_arg $ root_arg $ update)
+      const run $ log_term $ selftest $ strict $ units $ alias $ races $ format
+      $ rules $ baseline_arg $ root_arg $ update)
 
 let serve_cmd =
   let socket_arg =

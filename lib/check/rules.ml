@@ -32,14 +32,15 @@ let is_registered id =
   r
 
 let all () =
-  Mutex.lock lock;
-  let entries = List.rev_map (fun id -> Hashtbl.find table id) !order in
-  Mutex.unlock lock;
-  entries
+  (* Hashtbl.find can raise on a table someone mutated behind our back;
+     protect the section so the registry lock can never leak (RAC002). *)
+  Mutex.protect lock (fun () ->
+      List.rev_map (fun id -> Hashtbl.find table id) !order)
 
 (* A well-formed id is either kebab-case ("net-floating-node") or one of
    the prefixed numeric series: "AUD001" (audit), "LNT001" (source lint),
-   "UNT001" (unit inference) or "ALS001" (buffer ownership/aliasing). *)
+   "UNT001" (unit inference), "ALS001" (buffer ownership/aliasing) or
+   "RAC001" (lockset/race analysis). *)
 let well_formed id =
   let kebab =
     String.length id > 0
@@ -51,6 +52,7 @@ let well_formed id =
     && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub id 3 3)
   in
   kebab || series "AUD" || series "LNT" || series "UNT" || series "ALS"
+  || series "RAC"
 
 let selftest () =
   let entries = all () in

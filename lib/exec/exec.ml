@@ -63,21 +63,22 @@ let set_jobs n =
   Option.iter Pool.shutdown old_pool
 
 let get_pool n =
-  Mutex.lock config_lock;
+  (* Pool.create spawns domains and can raise; Pool.shutdown joins them
+     and can block.  Neither belongs inside the critical section: swap
+     the pool reference under the lock, construct and tear down outside
+     it. *)
+  let stale = ref None in
   let pool =
-    match !shared_pool with
-    | Some p when Pool.domains p = n -> p
-    | Some p ->
-      Pool.shutdown p;
-      let p = Pool.create ~domains:n in
-      shared_pool := Some p;
-      p
-    | None ->
-      let p = Pool.create ~domains:n in
-      shared_pool := Some p;
-      p
+    Mutex.protect config_lock (fun () ->
+        match !shared_pool with
+        | Some p when Pool.domains p = n -> p
+        | (Some _ | None) as old ->
+          let p = Pool.create ~domains:n in
+          stale := old;
+          shared_pool := Some p;
+          p)
   in
-  Mutex.unlock config_lock;
+  Option.iter Pool.shutdown !stale;
   pool
 
 (* One fan-out at a time: a [map] issued while another is in flight (in

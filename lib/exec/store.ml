@@ -12,10 +12,11 @@ type t = {
   locks : Mutex.t array; (* one per shard directory *)
   pending : (string * string, string) Hashtbl.t; (* (name, key) -> payload *)
   pending_lock : Mutex.t;
-  mutable closed : bool;
+  closed : bool Atomic.t; (* read unlocked by check_open on every operation *)
   hits : int Atomic.t;
   misses : int Atomic.t;
   writes : int Atomic.t;
+  flushes : int Atomic.t; (* drained write-behind batches *)
 }
 
 (* Process-wide counter for unique temp-file names; the pid component
@@ -23,7 +24,8 @@ type t = {
 let tmp_seq = Atomic.make 0
 
 let check_open t ~ctx =
-  if t.closed then failwith (Printf.sprintf "Store.%s: store %s is closed" ctx t.dir)
+  if Atomic.get t.closed then
+    failwith (Printf.sprintf "Store.%s: store %s is closed" ctx t.dir)
 
 (* --- paths ------------------------------------------------------------ *)
 
@@ -93,7 +95,9 @@ let read_file path =
   | text -> Some text
   | exception Sys_error _ -> None
 
-let write_entry t ~name ~key payload =
+(* IO under the shard lock is the design: the lock serializes same-shard
+   writers around the tmp-write + rename pair. *)
+let[@blocking_ok] write_entry t ~name ~key payload =
   let hex = digest ~name ~key in
   let dir = shard_dir t hex in
   mkdir_p dir;
@@ -112,7 +116,7 @@ let write_entry t ~name ~key payload =
       Sys.rename tmp (entry_path t hex));
   Atomic.incr t.writes
 
-let read_entry t ~name ~key =
+let[@blocking_ok] read_entry t ~name ~key =
   let hex = digest ~name ~key in
   let path = entry_path t hex in
   let lock = t.locks.(shard_of_digest hex) in
@@ -131,14 +135,17 @@ let read_entry t ~name ~key =
 
 (* --- write-behind queue ----------------------------------------------- *)
 
-let drain t batch = List.iter (fun ((name, key), payload) -> write_entry t ~name ~key payload) batch
+let drain t batch =
+  if batch <> [] then begin
+    List.iter (fun ((name, key), payload) -> write_entry t ~name ~key payload) batch;
+    Atomic.incr t.flushes
+  end
 
 let take_pending t =
-  Mutex.lock t.pending_lock;
-  let batch = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending [] in
-  Hashtbl.reset t.pending;
-  Mutex.unlock t.pending_lock;
-  batch
+  Mutex.protect t.pending_lock (fun () ->
+      let batch = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending [] in
+      Hashtbl.reset t.pending;
+      batch)
 
 let flush t =
   check_open t ~ctx:"flush";
@@ -146,17 +153,18 @@ let flush t =
 
 let add t ~name ~key payload =
   check_open t ~ctx:"add";
-  Mutex.lock t.pending_lock;
-  Hashtbl.replace t.pending (name, key) payload;
-  let n = Hashtbl.length t.pending in
-  Mutex.unlock t.pending_lock;
+  let n =
+    Mutex.protect t.pending_lock (fun () ->
+        Hashtbl.replace t.pending (name, key) payload;
+        Hashtbl.length t.pending)
+  in
   if n >= t.flush_threshold then drain t (take_pending t)
 
 let find t ~name ~key =
   check_open t ~ctx:"find";
-  Mutex.lock t.pending_lock;
-  let queued = Hashtbl.find_opt t.pending (name, key) in
-  Mutex.unlock t.pending_lock;
+  let queued =
+    Mutex.protect t.pending_lock (fun () -> Hashtbl.find_opt t.pending (name, key))
+  in
   let found =
     match queued with Some _ as v -> v | None -> read_entry t ~name ~key
   in
@@ -166,10 +174,8 @@ let find t ~name ~key =
   found
 
 let close t =
-  if not t.closed then begin
-    drain t (take_pending t);
-    t.closed <- true
-  end
+  (* exchange claims the close exactly once even under concurrent calls *)
+  if not (Atomic.exchange t.closed true) then drain t (take_pending t)
 
 (* --- lifecycle -------------------------------------------------------- *)
 
@@ -199,16 +205,18 @@ let open_store ?(flush_threshold = 16) ~dir () =
       locks = Array.init shards (fun _ -> Mutex.create ());
       pending = Hashtbl.create 32;
       pending_lock = Mutex.create ();
-      closed = false;
+      closed = Atomic.make false;
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       writes = Atomic.make 0;
+      flushes = Atomic.make 0;
     }
   in
   (* Pending records must survive a normal exit even if the caller never
      reaches close; a failing disk at exit is not worth a crash. *)
   at_exit (fun () ->
-      if not t.closed then match close t with () -> () | exception Sys_error _ -> ());
+      if not (Atomic.get t.closed) then
+        match close t with () -> () | exception Sys_error _ -> ());
   t
 
 let dir t = t.dir
@@ -230,12 +238,9 @@ let entry_count t =
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
 let writes t = Atomic.get t.writes
+let flushes t = Atomic.get t.flushes
 
-let pending t =
-  Mutex.lock t.pending_lock;
-  let n = Hashtbl.length t.pending in
-  Mutex.unlock t.pending_lock;
-  n
+let pending t = Mutex.protect t.pending_lock (fun () -> Hashtbl.length t.pending)
 
 (* --- codecs ----------------------------------------------------------- *)
 

@@ -50,8 +50,9 @@ val flush : t -> unit
 (** Drain all pending writes to disk now. *)
 
 val close : t -> unit
-(** {!flush}, then mark the handle closed; later {!add}/{!find} on a
-    closed store raise [Failure]. *)
+(** Mark the handle closed — exactly one caller wins even under
+    concurrent closes — then drain the pending queue; later
+    {!add}/{!find} on a closed store raise [Failure]. *)
 
 val dir : t -> string
 
@@ -62,8 +63,17 @@ val entry_count : t -> int
 
 val hits : t -> int
 val misses : t -> int
+
 val writes : t -> int
+(** Records written to disk (one per drained queue entry). *)
+
+val flushes : t -> int
+(** Write-behind batches drained to disk — by threshold, {!flush} or
+    {!close}.  A growing {!pending} with a flat flush count is the
+    signature of a stuck write-behind. *)
+
 val pending : t -> int
+(** Records currently queued, not yet on disk. *)
 
 (** {2 Codecs} *)
 

@@ -135,6 +135,14 @@ let defs_of_source t source = List.filter (fun d -> d.source = source) t.defs
    calling unit's own definition when there is exactly one, otherwise to
    nothing at all — a wrong summary is worse than no summary. *)
 let find ?current_unit t (p : Path.t) : def option =
+  let tiebreak many =
+    match current_unit with
+    | Some um ->
+      (match List.filter (fun d -> d.unit_module = um) many with
+       | [ d ] -> Some d
+       | _ -> None)
+    | None -> None
+  in
   let name = Paths.demangle (Paths.path_name p) in
   match Hashtbl.find_opt t.by_name name with
   | Some [ d ] -> Some d
@@ -153,11 +161,21 @@ let find ?current_unit t (p : Path.t) : def option =
     in
     (match matches with
      | [ d ] -> Some d
-     | [] -> None
-     | many ->
-       (match current_unit with
-        | Some um ->
-          (match List.filter (fun d -> d.unit_module = um) many with
-           | [ d ] -> Some d
-           | _ -> None)
-        | None -> None))
+     | [] ->
+       (* The call path can also be *longer* than the recorded qname: a
+          library wrapper prefixes it ("Obs.Trace.enabled" for the def
+          recorded as "Trace.enabled").  Drop leading components and
+          retry the exact table — still a full-qname match, so the
+          wrong-summary-is-worse-than-none contract holds. *)
+       let rec drop name =
+         match String.index_opt name '.' with
+         | None -> None
+         | Some i ->
+           let name = String.sub name (i + 1) (String.length name - i - 1) in
+           (match Hashtbl.find_opt t.by_name name with
+            | Some [ d ] -> Some d
+            | Some many -> tiebreak many
+            | None -> drop name)
+       in
+       drop name
+     | many -> tiebreak many)

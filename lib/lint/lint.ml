@@ -11,7 +11,10 @@
     - {!Discipline} — LNT004: rule ids minted via [Check.Rules] only;
     - {!Units} — UNT001-005: static dimensional analysis over the Eq. 1-8
       model chain, seeded from the {!Unit_sig} tables (on by default,
-      disable with [~units:false] / [--no-units]).
+      disable with [~units:false] / [--no-units]);
+    - {!Races} — RAC001-005: interprocedural lockset & domain-safety
+      analysis over the same {!Callgraph}/{!Summary} fixpoint (on by
+      default, disable with [~races:false] / [--no-races]).
 
     Findings are {!Check.Diagnostic}s, so reports and exit codes behave
     exactly like [subscale check]/[audit]; deliberate keeps live in the
@@ -29,6 +32,8 @@ module Cmt_load = Cmt_load
 module Callgraph = Callgraph
 module Summary = Summary
 module Alias = Alias
+module Lockset = Lockset
+module Races = Races
 module Selftest = Selftest
 
 module D = Check.Diagnostic
@@ -47,12 +52,16 @@ let starts_with ~prefix s =
 let exempt_output source =
   List.exists (fun prefix -> starts_with ~prefix source) output_exempt_dirs
 
-(* The ALS pass needs whole-tree context: summaries of callees live in
-   other units.  [alias_env] carries the fixpoint computed once per root
-   (or once per single unit for lint_cmt). *)
+(* The ALS and RAC passes need whole-tree context: summaries of callees
+   live in other units.  [alias_env] carries the fixpoint computed once
+   per root (or once per single unit for lint_cmt); [races_env] builds the
+   lockset analysis on top of it. *)
 let alias_env units = Summary.compute (Callgraph.build units)
 
-let lint_unit ?(units = true) ?alias_env:env (u : Cmt_load.unit_info) : file_report =
+let races_env env = Races.analyze env
+
+let lint_unit ?(units = true) ?alias_env:env ?races_env:renv
+    (u : Cmt_load.unit_info) : file_report =
   let source = u.Cmt_load.source in
   let diags =
     Purity.check ~source u.Cmt_load.structure
@@ -60,14 +69,19 @@ let lint_unit ?(units = true) ?alias_env:env (u : Cmt_load.unit_info) : file_rep
     @ Discipline.check ~source u.Cmt_load.structure
     @ (if units then Units.check ~source u.Cmt_load.structure else [])
     @ (match env with Some e -> Alias.check e ~source | None -> [])
+    @ (match renv with Some r -> Races.check r ~source | None -> [])
   in
   { source; diags = D.sort diags }
 
-let lint_cmt ?units ?(alias = true) path =
+let lint_cmt ?units ?(alias = true) ?(races = true) path =
   match Cmt_load.load path with
   | Cmt_load.Unit u ->
-    let env = if alias then Some (alias_env [ u ]) else None in
-    Some (lint_unit ?units ?alias_env:env u)
+    let env = if alias || races then Some (alias_env [ u ]) else None in
+    let renv =
+      match env with Some e when races -> Some (races_env e) | _ -> None
+    in
+    let env = if alias then env else None in
+    Some (lint_unit ?units ?alias_env:env ?races_env:renv u)
   | Cmt_load.Skipped -> None
   | Cmt_load.Unreadable (p, msg) ->
     Some
@@ -77,10 +91,16 @@ let lint_cmt ?units ?(alias = true) path =
               (Printf.sprintf "unreadable .cmt artifact: %s" msg)
               ~hint:"stale build? re-run `dune build` and lint again" ] }
 
-let lint_root ?units:(units_on = true) ?(alias = true) root =
+let lint_root ?units:(units_on = true) ?(alias = true) ?(races = true) root =
   let units, unreadable = Cmt_load.load_root root in
-  let env = if alias then Some (alias_env units) else None in
-  let reports = List.map (lint_unit ~units:units_on ?alias_env:env) units in
+  let env = if alias || races then Some (alias_env units) else None in
+  let renv =
+    match env with Some e when races -> Some (races_env e) | _ -> None
+  in
+  let env = if alias then env else None in
+  let reports =
+    List.map (lint_unit ~units:units_on ?alias_env:env ?races_env:renv) units
+  in
   let unreadable_reports =
     List.map
       (fun (p, msg) ->

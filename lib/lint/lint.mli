@@ -2,7 +2,8 @@
 
     Reads the .cmt artifacts dune already produces; never re-typechecks.
     Findings are {!Check.Diagnostic}s with rule ids LNT001–LNT005,
-    UNT001–UNT005 and ALS001–ALS004 minted through {!Check.Rules}. *)
+    UNT001–UNT005, ALS001–ALS004 and RAC001–RAC005 minted through
+    {!Check.Rules}. *)
 
 module Rules = Lint_rules
 module Baseline = Baseline
@@ -16,6 +17,8 @@ module Cmt_load = Cmt_load
 module Callgraph = Callgraph
 module Summary = Summary
 module Alias = Alias
+module Lockset = Lockset
+module Races = Races
 module Selftest = Selftest
 
 type file_report = { source : string; diags : Check.Diagnostic.t list }
@@ -28,21 +31,33 @@ val alias_env : Cmt_load.unit_info list -> Summary.env
 (** The interprocedural ownership fixpoint over a set of loaded units —
     build it once per tree and thread it to {!lint_unit}. *)
 
-val lint_unit : ?units:bool -> ?alias_env:Summary.env -> Cmt_load.unit_info -> file_report
+val races_env : Summary.env -> Races.t
+(** The lockset/race analysis over an already-computed summary fixpoint —
+    build it once per tree and thread it to {!lint_unit}. *)
+
+val lint_unit :
+  ?units:bool ->
+  ?alias_env:Summary.env ->
+  ?races_env:Races.t ->
+  Cmt_load.unit_info ->
+  file_report
 (** Run every pass over one loaded unit; diagnostics come back sorted.
     [units] (default true) enables the UNT dimensional-analysis pass;
-    passing [alias_env] enables the ALS buffer-ownership pass. *)
+    passing [alias_env] enables the ALS buffer-ownership pass and
+    [races_env] the RAC lockset pass. *)
 
-val lint_cmt : ?units:bool -> ?alias:bool -> string -> file_report option
+val lint_cmt : ?units:bool -> ?alias:bool -> ?races:bool -> string -> file_report option
 (** Lint one .cmt file.  [None] when the artifact holds no implementation
     typedtree (interfaces, packed or generated modules); unreadable
-    artifacts yield a [lint-unreadable-cmt] warning report.  [alias]
-    (default true) runs ALS with summaries from this unit alone. *)
+    artifacts yield a [lint-unreadable-cmt] warning report.  [alias] and
+    [races] (default true) run ALS/RAC with summaries from this unit
+    alone. *)
 
-val lint_root : ?units:bool -> ?alias:bool -> string -> file_report list
+val lint_root : ?units:bool -> ?alias:bool -> ?races:bool -> string -> file_report list
 (** Lint every .cmt under a directory tree (sorted by source path).
-    [alias] (default true) computes the ownership fixpoint over the whole
-    tree first, so ALS sees cross-unit call chains. *)
+    [alias]/[races] (default true) compute the interprocedural fixpoint
+    over the whole tree first, so ALS and RAC see cross-unit call
+    chains. *)
 
 val all_diags : file_report list -> Check.Diagnostic.t list
 

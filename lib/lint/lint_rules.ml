@@ -74,6 +74,32 @@ let als004 =
   Rules.register "ALS004"
     ~summary:"function returns a buffer it also retains internally ([@owned] to assert)"
 
+(* The RAC series: interprocedural lockset & domain-safety analysis over
+   the concurrent exec/serve stack (lib/lint/races.ml).  Polarity differs
+   from UNT/ALS in exactly one place: an unresolved call inside a
+   critical section counts as may-raise (RAC002), because exception-
+   unsafe locking is where optimism ships a wedged process.  Lock and
+   state *identity* keeps the conservative contract. *)
+let rac001 =
+  Rules.register "RAC001"
+    ~summary:"shared mutable state crosses domains without a consistent lockset"
+
+let rac002 =
+  Rules.register "RAC002"
+    ~summary:"critical section can raise with the mutex held (no Fun.protect/Mutex.protect)"
+
+let rac003 =
+  Rules.register "RAC003"
+    ~summary:"self-deadlock on a held mutex, or lock-order inversion across calls"
+
+let rac004 =
+  Rules.register "RAC004"
+    ~summary:"torn atomic read-modify-write (Atomic.get then Atomic.set; use fetch_and_add/CAS)"
+
+let rac005 =
+  Rules.register "RAC005"
+    ~summary:"blocking syscall while holding a lock ([@blocking_ok] to assert)"
+
 (* Unreadable or truncated .cmt artifact: not a source defect, so it gets a
    kebab-case id outside the LNT series and only warns. *)
 let unreadable_cmt =
@@ -227,7 +253,73 @@ let all : meta list =
       stays_clean_on =
         "returning freshly allocated or argument buffers without storing them, and \
          functions annotated `[@owned]` (deliberate sharing, e.g. an interned \
-         read-only table)" } ]
+         read-only table)" };
+    { id = rac001;
+      severity = Diagnostic.Error;
+      title = "lockset: shared mutable state crosses domains under one consistent lock";
+      fires_on =
+        "a mutable record field (declared next to a `Mutex.t`) or a module-level \
+         `ref`/`Hashtbl.t`/`Queue.t` in a unit that defines a module mutex, written \
+         somewhere and reachable from a domain-crossing closure \
+         (`Exec.map*`/`Pool.map`/`Domain.spawn`), where the intersection of locks \
+         held across all accesses is empty — Eraser-style lockset refinement over \
+         the interprocedural callgraph";
+      stays_clean_on =
+        "state guarded by the same mutex at every access (same instance for field \
+         locks, same module lock for globals), `Atomic.t` fields \
+         (memory-model-sanctioned), `Mutex.t`/`Condition.t` themselves, \
+         initialization writes to a record still being constructed, and code where \
+         no lock is ever in play for the class (some other synchronization may \
+         exist: unknown never convicts)" };
+    { id = rac002;
+      severity = Diagnostic.Error;
+      title = "lockset: critical sections are exception-safe";
+      fires_on =
+        "a `Mutex.lock` whose section can raise before the matching `Mutex.unlock` \
+         — a partial stdlib call, an unresolved call (deliberately pessimistic \
+         here), or a resolved callee whose summary may raise — so an exception \
+         leaks the mutex forever; reported at the acquisition site with the first \
+         piece of raise evidence";
+      stays_clean_on =
+        "`Mutex.protect`, `Fun.protect ~finally` unlocking the same mutex, \
+         sections whose every operation is on the never-raises table \
+         (`Hashtbl.replace`, `Queue.push`, arithmetic, ...), raise evidence \
+         swallowed by a catch-all `try`, and early exits that unlock first" };
+    { id = rac003;
+      severity = Diagnostic.Error;
+      title = "lockset: no self-deadlock, one global lock order";
+      fires_on =
+        "re-acquiring a mutex provably already held (stdlib mutexes are \
+         non-reentrant), directly, through an inlined local helper, or through a \
+         resolved call whose summary acquires the same class or the same \
+         parameter-rooted lock; and any pair of lock classes acquired in both \
+         orders anywhere in the program (deadlock window), reported at both sites";
+      stays_clean_on =
+        "distinct instances of a per-value lock class (two different shard locks), \
+         release-before-reacquire, and nesting that always follows one order \
+         (the DESIGN.md hierarchy)" };
+    { id = rac004;
+      severity = Diagnostic.Warning;
+      title = "lockset: atomic updates are not torn";
+      fires_on =
+        "`Atomic.set a v` where `v` is derived from `Atomic.get a` (directly or \
+         through a let-binding): a concurrent update between the get and the set \
+         is silently lost";
+      stays_clean_on =
+        "`Atomic.fetch_and_add`/`incr`/`decr`/`exchange`, `compare_and_set` retry \
+         loops, and get/set pairs on provably different atomics" };
+    { id = rac005;
+      severity = Diagnostic.Warning;
+      title = "lockset: no blocking syscalls under a lock";
+      fires_on =
+        "`Unix.read`/`write`/`connect`/`select`/..., channel IO, `Sys.rename`, or \
+         `Domain.join` reached while any lock is held (directly or via a resolved \
+         callee that may block): every domain contending for the lock stalls \
+         behind the IO";
+      stays_clean_on =
+        "IO outside critical sections, `Condition.wait` (it releases the mutex — \
+         the sanctioned pattern), and bindings annotated `[@blocking_ok]` (the \
+         store's by-design write-behind IO under a shard lock)" } ]
 
 let severity_of_id id =
   match List.find_opt (fun m -> m.id = id) all with

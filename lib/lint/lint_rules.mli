@@ -57,6 +57,22 @@ val als004 : string
 (** Buffer ownership: function returns a buffer it also retains
     ([@owned] asserts deliberate sharing). *)
 
+val rac001 : string
+(** Lockset: shared mutable state crosses domains without a consistent
+    lockset. *)
+
+val rac002 : string
+(** Lockset: critical section can raise with the mutex held. *)
+
+val rac003 : string
+(** Lockset: self-deadlock on a held mutex, or lock-order inversion. *)
+
+val rac004 : string
+(** Lockset: torn atomic read-modify-write. *)
+
+val rac005 : string
+(** Lockset: blocking syscall while holding a lock. *)
+
 val unreadable_cmt : string
 (** Infrastructure warning: a .cmt artifact could not be read. *)
 

@@ -207,7 +207,86 @@ let cases =
        let[@owned] make n =\n\
       \  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in\n\
       \  last := Some v;\n\
-      \  v\n" ) ]
+      \  v\n" );
+    (* The RAC crafted sources exercise the lockset engine end to end:
+       guarded vs unguarded accesses to the same state class, protected
+       vs bare critical sections, interprocedural re-acquisition through
+       effect summaries, and the save/restore exemption for atomics. *)
+    ( "RAC001 field read in crossing closure, guarded write elsewhere",
+      Lint_rules.rac001,
+      true,
+      "module Exec = struct let map f xs = List.map f xs end\n\
+       type t = { lock : Mutex.t; mutable count : int }\n\
+       let bump (t : t) =\n\
+      \  Mutex.lock t.lock; t.count <- t.count + 1; Mutex.unlock t.lock\n\
+       let total (t : t) xs = Exec.map (fun x -> x + t.count) xs\n" );
+    ( "RAC001 near miss: same lock at every access",
+      Lint_rules.rac001,
+      false,
+      "module Exec = struct let map f xs = List.map f xs end\n\
+       type t = { lock : Mutex.t; mutable count : int }\n\
+       let bump (t : t) =\n\
+      \  Mutex.lock t.lock; t.count <- t.count + 1; Mutex.unlock t.lock\n\
+       let total (t : t) xs =\n\
+      \  Exec.map\n\
+      \    (fun x ->\n\
+      \      Mutex.lock t.lock;\n\
+      \      let c = t.count in\n\
+      \      Mutex.unlock t.lock;\n\
+      \      x + c)\n\
+      \    xs\n" );
+    ( "RAC002 unknown callee inside a bare critical section",
+      Lint_rules.rac002,
+      true,
+      "let lock = Mutex.create ()\n\
+       let risky f =\n\
+      \  Mutex.lock lock;\n\
+      \  let r = f () in\n\
+      \  Mutex.unlock lock;\n\
+      \  r\n" );
+    ( "RAC002 near miss: Mutex.protect releases on any exit",
+      Lint_rules.rac002,
+      false,
+      "let lock = Mutex.create ()\n\
+       let safe f = Mutex.protect lock (fun () -> f ())\n" );
+    ( "RAC003 helper re-acquires the caller's mutex",
+      Lint_rules.rac003,
+      true,
+      "let lock = Mutex.create ()\n\
+       let helper () = Mutex.lock lock; Mutex.unlock lock\n\
+       let outer () = Mutex.lock lock; helper (); Mutex.unlock lock\n" );
+    ( "RAC003 near miss: released before the helper runs",
+      Lint_rules.rac003,
+      false,
+      "let lock = Mutex.create ()\n\
+       let helper () = Mutex.lock lock; Mutex.unlock lock\n\
+       let outer () = Mutex.lock lock; Mutex.unlock lock; helper ()\n" );
+    ( "RAC004 Atomic.set of a value derived from Atomic.get",
+      Lint_rules.rac004,
+      true,
+      "let hits = Atomic.make 0\n\
+       let bump () = Atomic.set hits (Atomic.get hits + 1)\n" );
+    ( "RAC004 near miss: fetch_and_add and pure save/restore",
+      Lint_rules.rac004,
+      false,
+      "let hits = Atomic.make 0\n\
+       let bump () = ignore (Atomic.fetch_and_add hits 1)\n\
+       let with_reset f =\n\
+      \  let saved = Atomic.get hits in\n\
+      \  f ();\n\
+      \  Atomic.set hits saved\n" );
+    ( "RAC005 rename on disk while holding the lock",
+      Lint_rules.rac005,
+      true,
+      "let lock = Mutex.create ()\n\
+       let save path =\n\
+      \  Mutex.protect lock (fun () -> Sys.rename path (path ^ \".bak\"))\n" );
+    ( "RAC005 near miss: [@blocking_ok] sanctions IO under this lock",
+      Lint_rules.rac005,
+      false,
+      "let lock = Mutex.create ()\n\
+       let[@blocking_ok] save path =\n\
+      \  Mutex.protect lock (fun () -> Sys.rename path (path ^ \".bak\"))\n" ) ]
 
 let make_temp_dir () =
   let path = Filename.temp_file "subscale_lint_selftest" "" in
@@ -233,16 +312,19 @@ let lint_snippet ~dir ~index source =
   else
     match Cmt_load.load (Filename.concat dir (base ^ ".cmt")) with
     | Cmt_load.Unit u ->
-      (* single-unit ownership fixpoint: the crafted sources define their
-         helpers locally, so ALS summaries resolve within the unit *)
+      (* single-unit ownership/lockset fixpoint: the crafted sources
+         define their helpers locally, so the ALS and RAC summaries
+         resolve within the unit *)
       let alias_env = Summary.compute (Callgraph.build [ u ]) in
+      let races_env = Races.analyze alias_env in
       Ok
         (Purity.check ~source:u.Cmt_load.source u.Cmt_load.structure
          @ Hygiene.check ~source:u.Cmt_load.source ~exempt_output:false
              u.Cmt_load.structure
          @ Discipline.check ~source:u.Cmt_load.source u.Cmt_load.structure
          @ Units.check ~source:u.Cmt_load.source u.Cmt_load.structure
-         @ Alias.check alias_env ~source:u.Cmt_load.source)
+         @ Alias.check alias_env ~source:u.Cmt_load.source
+         @ Races.check races_env ~source:u.Cmt_load.source)
     | Cmt_load.Skipped -> Error "crafted cmt skipped"
     | Cmt_load.Unreadable (_, msg) -> Error ("crafted cmt unreadable: " ^ msg)
 

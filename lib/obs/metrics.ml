@@ -45,16 +45,17 @@ let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
 
 let get_or_create name make describe =
-  Mutex.lock registry_lock;
+  (* [make] is caller-supplied; Mutex.protect keeps an exception in it
+     from leaking the registry lock. *)
   let m =
-    match Hashtbl.find_opt registry name with
-    | Some m -> m
-    | None ->
-      let m = make () in
-      Hashtbl.add registry name m;
-      m
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some m -> m
+        | None ->
+          let m = make () in
+          Hashtbl.add registry name m;
+          m)
   in
-  Mutex.unlock registry_lock;
   match describe m with
   | Some v -> v
   | None -> invalid_arg (Printf.sprintf "Obs.Metrics: %S already registered with another type" name)

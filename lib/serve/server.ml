@@ -103,6 +103,7 @@ let health_fields store =
               ("misses", num (float_of_int (Exec.Store.misses s)));
               ("writes", num (float_of_int (Exec.Store.writes s)));
               ("pending", num (float_of_int (Exec.Store.pending s)));
+              ("flushes", num (float_of_int (Exec.Store.flushes s)));
               ("entries", num (float_of_int (Exec.Store.entry_count s))) ] ) ]
   in
   [ ("metrics", Json.Obj metrics); ("memo", Json.Arr memo) ] @ store_fields

@@ -1,0 +1,17 @@
+(* RAC001 fixture: the counter is written under its own mutex everywhere
+   except in the closure the parallel engine runs on other domains.  The
+   intersection of guard sets across the class's accesses is empty — the
+   Eraser conviction — and the guarded write proves locks are in play. *)
+
+module Exec = struct
+  let map f xs = List.map f xs
+end
+
+type t = { lock : Mutex.t; mutable count : int }
+
+let bump (t : t) =
+  Mutex.lock t.lock;
+  t.count <- t.count + 1;
+  Mutex.unlock t.lock
+
+let total (t : t) xs = Exec.map (fun x -> x + t.count) xs

@@ -1,0 +1,12 @@
+(* RAC002 fixture: the callback is opaque — if it raises, the unlock on
+   the fall-through path never runs and the mutex is leaked forever;
+   every later caller deadlocks on a lock nobody holds the right to
+   release. *)
+
+let lock = Mutex.create ()
+
+let risky f =
+  Mutex.lock lock;
+  let r = f () in
+  Mutex.unlock lock;
+  r

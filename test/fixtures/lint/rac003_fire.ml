@@ -1,0 +1,31 @@
+(* RAC003 fixture, both halves.  First a self-deadlock only the effect
+   summaries can see: the helper re-acquires the mutex its caller still
+   holds, and stdlib mutexes are non-reentrant.  Then a lock-order
+   inversion: [a] and [b] are taken in both orders across the unit, so
+   two domains can each hold one and wait on the other forever. *)
+
+let lock = Mutex.create ()
+
+let helper () =
+  Mutex.lock lock;
+  Mutex.unlock lock
+
+let outer () =
+  Mutex.lock lock;
+  helper ();
+  Mutex.unlock lock
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let forward () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let backward () =
+  Mutex.lock b;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b

@@ -1,0 +1,8 @@
+(* RAC004 fixture: a torn read-modify-write.  Between the Atomic.get and
+   the Atomic.set another domain's increment can land and be silently
+   overwritten — the atomic type made each access indivisible but not
+   the pair. *)
+
+let hits = Atomic.make 0
+
+let bump () = Atomic.set hits (Atomic.get hits + 1)

@@ -1,0 +1,7 @@
+(* RAC005 fixture: a disk rename inside the critical section.  The lock
+   discipline is exception-safe (Mutex.protect), but every other domain
+   contending for the mutex stalls behind the filesystem. *)
+
+let lock = Mutex.create ()
+
+let save path = Mutex.protect lock (fun () -> Sys.rename path (path ^ ".bak"))

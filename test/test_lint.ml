@@ -1,6 +1,6 @@
-(* lib/lint: the fixture corpus (per LNT/UNT/ALS rule one firing source
-   and one near miss, compiled to .cmt by test/fixtures/lint/dune), .cmt
-   discovery across dune contexts, baseline round-trips, and the
+(* lib/lint: the fixture corpus (per LNT/UNT/ALS/RAC rule one firing
+   source and one near miss, compiled to .cmt by test/fixtures/lint/dune),
+   .cmt discovery across dune contexts, baseline round-trips, and the
    rule-registry integration. *)
 
 open Subscale
@@ -129,6 +129,50 @@ let corpus_tests =
           (fires "als004_fire" LR.als004));
     u "ALS004 accepts [@owned] as a deliberate-sharing assertion" (fun () ->
         clean "als004_clean");
+    u "RAC001 fires as an error on a lockset-inconsistent crossing read" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Error then
+              Alcotest.failf "RAC001 must be an error, got: %s" (Diag.to_string d))
+          (fires "rac001_fire" LR.rac001));
+    u "RAC001 accepts the same lock held at every access" (fun () ->
+        clean "rac001_clean");
+    u "RAC002 fires on an opaque callee inside a bare critical section" (fun () ->
+        ignore (fires "rac002_fire" LR.rac002));
+    u "RAC002 accepts Mutex.protect and Fun.protect ~finally" (fun () ->
+        clean "rac002_clean");
+    u "RAC003 fires on both the re-acquisition and the order inversion" (fun () ->
+        let diags = fires "rac003_fire" LR.rac003 in
+        if List.length diags < 3 then
+          Alcotest.failf
+            "expected the helper re-acquire plus both inversion sites, got %d finding(s)"
+            (List.length diags));
+    u "RAC003 accepts release-before-call and a consistent lock order" (fun () ->
+        clean "rac003_clean");
+    u "RAC004 warns on Atomic.set of a get-derived value" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Warning then
+              Alcotest.failf "RAC004 must be a warning, got: %s" (Diag.to_string d))
+          (fires "rac004_fire" LR.rac004));
+    u "RAC004 accepts fetch_and_add and pure save/restore" (fun () ->
+        clean "rac004_clean");
+    u "RAC005 warns on blocking IO under a held mutex" (fun () ->
+        List.iter
+          (fun d ->
+            if d.Diag.severity <> Diag.Warning then
+              Alcotest.failf "RAC005 must be a warning, got: %s" (Diag.to_string d))
+          (fires "rac005_fire" LR.rac005));
+    u "RAC005 accepts [@blocking_ok] as the sanctioned escape hatch" (fun () ->
+        clean "rac005_clean");
+    u "--no-races silences the RAC corpus entirely" (fun () ->
+        let path = Filename.concat fixture_dir "rac002_fire.cmt" in
+        match Lint.lint_cmt ~races:false path with
+        | Some r when r.Lint.diags = [] -> ()
+        | Some r ->
+          Alcotest.failf "expected clean without the races pass, got [%s]"
+            (String.concat "; " (List.map Diag.to_string r.Lint.diags))
+        | None -> Alcotest.fail "fixture lost its typedtree");
     u "--no-alias silences the ALS corpus entirely" (fun () ->
         let path = Filename.concat fixture_dir "als003_fire.cmt" in
         match Lint.lint_cmt ~alias:false path with
@@ -148,8 +192,8 @@ let corpus_tests =
     u "lint_root scans the corpus in sorted order" (fun () ->
         let reports = Lint.lint_root fixture_dir in
         let sources = List.map (fun r -> r.Lint.source) reports in
-        if List.length sources < 28 then
-          Alcotest.failf "expected >= 28 fixture units, got %d" (List.length sources);
+        if List.length sources < 38 then
+          Alcotest.failf "expected >= 38 fixture units, got %d" (List.length sources);
         if sources <> List.sort String.compare sources then
           Alcotest.fail "lint_root reports are not sorted by source");
   ]
@@ -318,7 +362,7 @@ let baseline_tests =
 
 let registry_tests =
   [
-    u "every LNT, UNT and ALS rule is registered with the expected severity" (fun () ->
+    u "every LNT, UNT, ALS and RAC rule is registered with the expected severity" (fun () ->
         List.iter
           (fun (id, sev) ->
             match LR.find id with
@@ -340,6 +384,11 @@ let registry_tests =
             (LR.als002, Diag.Error);
             (LR.als003, Diag.Error);
             (LR.als004, Diag.Warning);
+            (LR.rac001, Diag.Error);
+            (LR.rac002, Diag.Error);
+            (LR.rac003, Diag.Error);
+            (LR.rac004, Diag.Warning);
+            (LR.rac005, Diag.Warning);
           ]);
     u "--rules markdown names every rule id" (fun () ->
         let md = Lint.rules_markdown () in

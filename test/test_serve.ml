@@ -485,7 +485,13 @@ let serve_tests =
         in
         Alcotest.(check int) "store served one hit" 1 (store_field warm_health "hits");
         Alcotest.(check bool) "store kept its record" true
-          (store_field warm_health "entries" >= 1));
+          (store_field warm_health "entries" >= 1);
+        (* write-behind visibility: the cold run's record reached disk
+           through at least one drained batch, with nothing left queued *)
+        Alcotest.(check bool) "cold run drained a batch" true
+          (store_field cold_health "flushes" >= 1);
+        Alcotest.(check int) "nothing left queued" 0
+          (store_field cold_health "pending"));
     case "daemon: hostile input gets error responses, not a dead daemon" (fun () ->
         with_server (fun ~connect ~send ~recv ->
             let fd = connect () in
